@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Besides the
+pytest-benchmark timings, every module writes a human-readable
+comparison table to ``benchmarks/out/`` so paper-vs-measured results
+can be inspected after a run (EXPERIMENTS.md is produced from these).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+
+from repro.automata import BYTE_ALPHABET, Alphabet, CharSet, Nfa
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_table(name: str, title: str, lines: list[str]) -> pathlib.Path:
+    """Write a result table to benchmarks/out/<name>.txt and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    content = "\n".join([title, "=" * len(title), *lines, ""])
+    path.write_text(content)
+    print()
+    print(content)
+    return path
+
+
+def random_nfa(
+    num_states: int,
+    seed: int,
+    alphabet: Alphabet = BYTE_ALPHABET,
+    edge_factor: float = 1.6,
+    label_style: str = "overlap",
+) -> Nfa:
+    """A random trim NFA with ``num_states`` states.
+
+    A backbone chain start→…→final guarantees the machine is non-empty
+    and every state is live; extra random class-labelled edges (some
+    backwards, giving cycles) provide nondeterminism.  Deterministic in
+    ``seed``.
+
+    ``label_style="overlap"`` makes every label contain ``'a'``, so
+    products of independently random machines keep non-trivial
+    intersections even at large Q (the single-CI scaling sweep needs
+    this, otherwise it mostly measures empty machines).  ``"banded"``
+    draws independent sub-ranges instead — sparser intersections, which
+    keeps multi-call enumeration (the chain sweep) tractable.
+    """
+    rng = random.Random(seed)
+    machine = Nfa(alphabet)
+    states = machine.add_states(num_states)
+    lo, hi = 97, 110  # labels drawn from a 14-letter band
+
+    def random_label() -> CharSet:
+        if label_style == "overlap":
+            return CharSet.range(lo, rng.randrange(lo, hi))
+        a = rng.randrange(lo, hi)
+        return CharSet.range(a, rng.randrange(a, hi))
+
+    for i in range(num_states - 1):
+        machine.add_transition(states[i], random_label(), states[i + 1])
+    extra = int(num_states * edge_factor)
+    for _ in range(extra):
+        src = rng.choice(states)
+        dst = rng.choice(states)
+        machine.add_transition(src, random_label(), dst)
+    machine.starts = {states[0]}
+    machine.finals = {states[-1]}
+    return machine

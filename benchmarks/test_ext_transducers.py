@@ -1,0 +1,79 @@
+"""Experiment ext-fst — the transducer extension (paper Sec. 5 future work).
+
+Not a paper table: this benchmarks the FST-based sanitizer modelling we
+implement as the paper's named future-work direction, on three
+workloads:
+
+* ``escaped`` — addslashes used correctly: both models say safe, the
+  transducer model *proves* it (empty pre-image).
+* ``double-decode`` — stripslashes(addslashes(x)): the black-box model
+  reports safe (a false negative); the transducer model finds the
+  exploit by composing pre-images backwards.
+* ``replace`` — quote-deletion via str_replace: the black-box model
+  havocs the unknown call and reports vulnerable (a false positive);
+  the replacement transducer proves the sink safe.
+"""
+
+import pytest
+
+from repro.analysis import CONTAINS_QUOTE, UNESCAPED_QUOTE, analyze_source
+
+from benchmarks._util import write_table
+
+ESCAPED = r"""<?php
+$x = addslashes($_POST['x']);
+query("SELECT * FROM t WHERE a=$x");
+"""
+
+DOUBLE_DECODE = r"""<?php
+$x = addslashes($_POST['x']);
+$y = stripslashes($x);
+query("SELECT * FROM t WHERE a=$y");
+"""
+
+REPLACE = r"""<?php
+$x = str_replace("'", "", $_POST['x']);
+query("SELECT * FROM t WHERE a=$x");
+"""
+
+CASES = {
+    "escaped": (ESCAPED, UNESCAPED_QUOTE, False, False),
+    "double-decode": (DOUBLE_DECODE, UNESCAPED_QUOTE, False, True),
+    "replace": (REPLACE, CONTAINS_QUOTE, True, False),
+}
+
+_RESULTS: dict[str, tuple[bool, bool]] = {}
+
+
+@pytest.mark.parametrize("case", CASES, ids=list(CASES))
+def test_transducer_analysis(benchmark, case):
+    source, attack, naive_expected, precise_expected = CASES[case]
+
+    def run():
+        naive = analyze_source(source, case, attack=attack, transducers=False)
+        precise = analyze_source(source, case, attack=attack, transducers=True)
+        return naive.vulnerable, precise.vulnerable
+
+    naive_verdict, precise_verdict = benchmark(run)
+    assert naive_verdict == naive_expected
+    assert precise_verdict == precise_expected
+    _RESULTS[case] = (naive_verdict, precise_verdict)
+
+
+def test_transducer_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    if len(_RESULTS) < len(CASES):
+        pytest.skip("case benchmarks did not all run")
+    lines = [f"{'case':<15} {'black-box':>10} {'transducer':>11}"]
+    for case, (naive_verdict, precise_verdict) in _RESULTS.items():
+        lines.append(
+            f"{case:<15} {'vuln' if naive_verdict else 'safe':>10} "
+            f"{'vuln' if precise_verdict else 'safe':>11}"
+        )
+    lines += [
+        "",
+        "double-decode: a black-box false negative turned into a",
+        "concrete exploit; replace: a black-box false positive",
+        "discharged by the replacement transducer.",
+    ]
+    write_table("ext_fst", "Extension — FST sanitizer modelling", lines)

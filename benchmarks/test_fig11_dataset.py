@@ -1,0 +1,40 @@
+"""Experiment fig11 — regenerate the data-set table of paper Fig. 11.
+
+Paper row format: Name, Version, Files, LOC, Vulnerable.  Our corpus is
+synthetic (see DESIGN.md §3) but matches the paper's file counts and
+vulnerable-file counts exactly and its line counts within a few
+percent; this benchmark regenerates the table and times corpus
+generation.
+"""
+
+from repro.analysis import build_corpus
+
+from benchmarks._util import write_table
+
+PAPER_FIG11 = {
+    "eve": ("1.0", 8, 905, 1),
+    "utopia": ("1.3.0", 24, 5438, 4),
+    "warp": ("1.2.1", 44, 24365, 12),
+}
+
+
+def test_fig11_dataset_table(benchmark):
+    corpus = benchmark(build_corpus)
+
+    lines = [
+        f"{'Name':<8} {'Version':<8} {'Files':>5} {'LOC':>7} {'Vulnerable':>10}"
+        f"   (paper: files / LOC / vulnerable)"
+    ]
+    for app in corpus:
+        version, files, loc, vulnerable = PAPER_FIG11[app.name]
+        lines.append(
+            f"{app.name:<8} {app.version:<8} {len(app.files):>5} "
+            f"{app.loc:>7} {len(app.vulnerable_files):>10}"
+            f"   (paper: {files} / {loc} / {vulnerable})"
+        )
+        # Shape assertions: files and vulnerable counts exact, LOC close.
+        assert app.version == version
+        assert len(app.files) == files
+        assert len(app.vulnerable_files) == vulnerable
+        assert abs(app.loc - loc) / loc < 0.05
+    write_table("fig11", "Fig. 11 — benchmark data set", lines)

@@ -1,0 +1,43 @@
+"""Experiment fig4 — the worked CI instance of paper Fig. 4.
+
+``concat_intersect(nid_, Σ*[0-9]+, Σ*'Σ*)``: one solution whose lhs is
+exactly {nid_} and whose rhs is the exploit language (quote somewhere,
+digits at the end).  Benchmarked as the canonical single-CI workload.
+"""
+
+from repro.automata import Nfa, equivalent
+from repro.regex import parse_exact, to_nfa
+from repro.solver import concat_intersect
+
+from benchmarks._util import write_table
+
+
+def _inputs():
+    c1 = Nfa.literal("nid_")
+    c2 = to_nfa(parse_exact(r".*[0-9]+"))
+    c3 = to_nfa(parse_exact(r".*'.*"))
+    return c1, c2, c3
+
+
+def test_fig4_concat_intersect(benchmark):
+    c1, c2, c3 = _inputs()
+    solutions = benchmark(lambda: concat_intersect(c1, c2, c3, dedupe=True))
+
+    assert len(solutions) == 1
+    (solution,) = solutions
+    assert equivalent(solution.lhs, c1)
+    assert solution.rhs.accepts("' OR 1=1 ; DROP news --9")
+    assert not solution.rhs.accepts("123")
+
+    from repro.automata import shortest_string
+
+    write_table(
+        "fig4",
+        "Fig. 4 — motivating CI instance",
+        [
+            "solutions: 1 (as in the paper)",
+            "lhs == L(nid_): True",
+            f"rhs witness: {shortest_string(solution.rhs)!r}",
+            "rhs accepts paper exploit \"' OR 1=1 ; DROP news --9\": True",
+        ],
+    )

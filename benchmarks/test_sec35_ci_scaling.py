@@ -1,0 +1,81 @@
+"""Experiment sec35-ci — the complexity claims of paper Sec. 3.5.
+
+For a single ``concat_intersect`` call with input machines of size Q,
+the paper claims (in its "NFA states visited" cost model):
+
+* the intersection machine M5 has size O(Q²),
+* constructing it visits |M3|·(|M1|+|M2|) = O(Q²) states,
+* the number of disjunctive solutions is bounded by |M3|,
+* enumerating *all* solutions costs O(Q³) states visited.
+
+This benchmark sweeps Q over random machines, measures the same
+quantities with :mod:`repro.stats`, and checks the bounds (with
+explicit constants — the model counts exactly what the paper counts).
+"""
+
+import pytest
+
+from repro import stats
+from repro.automata import ops
+from repro.solver import concat_intersect
+
+from benchmarks._util import random_nfa, write_table
+
+SIZES = [4, 8, 16, 32, 48]
+
+_ROWS: dict[int, tuple[int, int, int]] = {}
+
+
+def run_ci(q: int):
+    c1 = random_nfa(q, seed=q * 3 + 1)
+    c2 = random_nfa(q, seed=q * 3 + 2)
+    c3 = random_nfa(q, seed=q * 3 + 3)
+    with stats.measure() as cost:
+        solutions = concat_intersect(c1, c2, c3)
+    m4 = ops.concat(c1, c2)
+    m5, _ = ops.product(m4, c3)
+    return cost.states_visited, m5.num_states, len(solutions)
+
+
+@pytest.mark.parametrize("q", SIZES)
+def test_ci_scaling_row(benchmark, q):
+    visited, machine_size, num_solutions = benchmark.pedantic(
+        run_ci, args=(q,), rounds=1, iterations=1
+    )
+    _ROWS[q] = (visited, machine_size, num_solutions)
+
+    # Paper bounds, with explicit constants: |M5| ≤ |M4|·|M3| ≤ 3Q²
+    # (M4 has 2Q + up-to-4 normalization states), solutions ≤ |M3| = Q,
+    # and the full run visits O(Q³) states.
+    assert machine_size <= 3 * q * q + 10
+    assert num_solutions <= q
+    assert visited <= 30 * q**3 + 1000
+
+
+def test_ci_scaling_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    if len(_ROWS) < len(SIZES):
+        pytest.skip("row benchmarks did not all run")
+    lines = [
+        f"{'Q':>4} {'states visited':>15} {'|M5|':>8} {'solutions':>10}"
+        f" {'visited/Q^3':>12} {'|M5|/Q^2':>9}"
+    ]
+    for q in SIZES:
+        visited, size, solutions = _ROWS[q]
+        lines.append(
+            f"{q:>4} {visited:>15} {size:>8} {solutions:>10}"
+            f" {visited / q**3:>12.2f} {size / q**2:>9.2f}"
+        )
+    write_table(
+        "sec35_ci",
+        "Sec. 3.5 — single concat_intersect cost scaling",
+        lines + [
+            "",
+            "Claims: |M5|/Q^2 bounded; solutions <= Q; visited/Q^3 bounded.",
+        ],
+    )
+    # The normalized ratios must not grow with Q (the big-O claims).
+    small = _ROWS[SIZES[0]]
+    large = _ROWS[SIZES[-1]]
+    assert large[0] / SIZES[-1] ** 3 <= max(4.0, 4 * small[0] / SIZES[0] ** 3)
+    assert large[1] / SIZES[-1] ** 2 <= max(4.0, 4 * small[1] / SIZES[0] ** 2)

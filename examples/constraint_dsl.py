@@ -1,0 +1,52 @@
+"""The constraint-file front end (the released dprle tool's interface).
+
+Writes a constraint file, solves it programmatically, and shows the
+equivalent command line.  The same file works with::
+
+    python -m repro.tools.cli solve cross_site.dprle
+
+Run: ``python examples/constraint_dsl.py``
+"""
+
+import pathlib
+import tempfile
+
+from repro import parse_problem, solve
+
+# A cross-site-scripting flavoured system (the paper notes the
+# procedure applies beyond SQL injection, e.g. XSS / XML generation):
+# the echoed page is  '<b>' . name . '</b>'  and the filter strips
+# nothing but requires the name to end in a word character.
+CONSTRAINTS = r"""
+# inputs
+var name;
+
+# the application's validation (broken: unanchored)
+name <= m/[\w]+$/;
+
+# the page fragment that reaches the browser
+let page_is_scripted := m/<script/;
+"<b>" . name . "</b>" <= page_is_scripted;
+"""
+
+
+def main() -> None:
+    problem = parse_problem(CONSTRAINTS)
+    print("constraints:")
+    for constraint in problem.constraints:
+        print(f"  {constraint}")
+
+    solutions = solve(problem)
+    print(f"\nsatisfiable: {solutions.satisfiable}")
+    assignment = solutions.first
+    print(f"name <- /{assignment.regex_str('name')}/")
+    print(f"witness: {assignment.witness('name')!r}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "xss.dprle"
+        path.write_text(CONSTRAINTS)
+        print(f"\n(equivalent CLI: python -m repro.tools.cli solve {path.name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: solving the paper's motivating example with the public API.
+
+The code fragment of paper Fig. 1 filters ``$newsid`` with
+``preg_match('/[\\d]+$/', ...)`` — missing the ``^`` anchor — then
+builds a SQL query around ``"nid_" . $newsid``.  We ask the decision
+procedure for every user input that (a) passes the filter and (b)
+makes the query contain a single quote.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import RegLangSolver
+
+
+def main() -> None:
+    solver = RegLangSolver()
+
+    # The user-controlled input (the paper's v1).
+    newsid = solver.var("newsid")
+
+    # Constraint 1: the input passes the (broken) filter on line 2 of
+    # Fig. 1.  m/.../ is preg_match semantics: no ^ anchor, so the
+    # match may start anywhere.
+    solver.require_match(newsid, r"/[\d]+$/")
+
+    # Constraint 2: the string sent to the database — "nid_" followed
+    # by the input — is an unsafe query (contains a quote).
+    unsafe = solver.match_pattern("unsafe", r"'")
+    solver.require(solver.literal("nid_").concat(newsid), unsafe)
+
+    result = solver.solve()
+    print(f"satisfiable: {result.satisfiable}")
+    print(f"disjunctive assignments: {len(result)}")
+
+    assignment = result.first
+    print(f"language of exploits: /{assignment.regex_str('newsid')}/")
+    print(f"shortest exploit:     {assignment.witness('newsid')!r}")
+
+    # The paper's concrete attack string is in the language too:
+    attack = "' OR 1=1 ; DROP news --9"
+    print(f"accepts {attack!r}: {assignment['newsid'].accepts(attack)}")
+
+    # Fixing the filter (adding ^) makes the system unsatisfiable —
+    # the decision procedure *proves* the absence of the bug.
+    fixed = RegLangSolver()
+    v = fixed.var("newsid")
+    fixed.require_match(v, r"/^[\d]+$/")
+    fixed.require(fixed.literal("nid_").concat(v), fixed.match_pattern("unsafe", r"'"))
+    print(f"after fixing the anchor: satisfiable = {fixed.solve().satisfiable}")
+
+
+if __name__ == "__main__":
+    main()

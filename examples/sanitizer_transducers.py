@@ -1,0 +1,68 @@
+"""Precise sanitizer modelling with finite-state transducers.
+
+The paper's prototype treats sanitizers as black boxes ("quote-free
+output").  Its related-work section points at FST-based reversal of
+string operations as a compatible future direction (Sec. 5); this
+example shows what that combination buys:
+
+1. ``addslashes`` is *proved* effective: the pre-image of the
+   unescaped-quote attack language under the escaping transducer is
+   empty.
+2. The classic double-decoding bug — ``stripslashes(addslashes($x))``,
+   the magic-quotes footgun — is a false negative for the black-box
+   model but is found (with a concrete exploit) by the transducer
+   model, because pre-images compose backwards through both calls.
+
+Run: ``python examples/sanitizer_transducers.py``
+"""
+
+from repro.analysis import UNESCAPED_QUOTE, analyze_source
+from repro.analysis.sanitizers import transducer_for
+
+ESCAPED = r"""<?php
+$x = addslashes($_POST['x']);
+query("SELECT * FROM t WHERE a=$x");
+"""
+
+DOUBLE_DECODE = r"""<?php
+$x = addslashes($_POST['x']);
+$y = stripslashes($x);    // magic-quotes cleanup... after escaping
+query("SELECT * FROM t WHERE a=$y");
+"""
+
+
+def verdict(source: str, transducers: bool) -> str:
+    report = analyze_source(
+        source, "<example>", attack=UNESCAPED_QUOTE, transducers=transducers
+    )
+    if not report.vulnerable:
+        return "safe"
+    finding = report.first_vulnerable
+    return f"VULNERABLE, exploit {finding.exploit_inputs}"
+
+
+def main() -> None:
+    print("=== addslashes, used correctly ===")
+    print(f"  black-box model : {verdict(ESCAPED, transducers=False)}")
+    print(f"  transducer model: {verdict(ESCAPED, transducers=True)}")
+
+    print()
+    print("=== the double-decoding bug ===")
+    print(f"  black-box model : {verdict(DOUBLE_DECODE, transducers=False)}"
+          "   <- false negative!")
+    print(f"  transducer model: {verdict(DOUBLE_DECODE, transducers=True)}")
+
+    print()
+    print("=== why the exploit works ===")
+    add = transducer_for("addslashes")
+    strip = transducer_for("stripslashes")
+    exploit = "'"
+    escaped = add.apply_one(exploit)
+    decoded = strip.apply_one(escaped)
+    print(f"  input          : {exploit!r}")
+    print(f"  after addslashes : {escaped!r}   (quote is escaped: safe)")
+    print(f"  after stripslashes: {decoded!r}  (escaping undone: injectable)")
+
+
+if __name__ == "__main__":
+    main()

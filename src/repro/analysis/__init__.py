@@ -1,0 +1,41 @@
+"""Vulnerability analysis: attack specs, analyzer, benchmark corpus."""
+
+from .analyzer import FileReport, Finding, analyze_source
+from .attacks import (
+    ALL_ATTACKS,
+    COMMENT_TRUNCATION,
+    CONTAINS_QUOTE,
+    PIGGYBACK,
+    TAUTOLOGY,
+    UNESCAPED_QUOTE,
+    AttackSpec,
+)
+from .corpus import (
+    VULN_SPECS,
+    CorpusApp,
+    CorpusFile,
+    VulnSpec,
+    build_corpus,
+    make_filler_source,
+    make_vulnerable_source,
+)
+
+__all__ = [
+    "analyze_source",
+    "FileReport",
+    "Finding",
+    "AttackSpec",
+    "CONTAINS_QUOTE",
+    "UNESCAPED_QUOTE",
+    "TAUTOLOGY",
+    "PIGGYBACK",
+    "COMMENT_TRUNCATION",
+    "ALL_ATTACKS",
+    "VulnSpec",
+    "VULN_SPECS",
+    "CorpusFile",
+    "CorpusApp",
+    "build_corpus",
+    "make_vulnerable_source",
+    "make_filler_source",
+]

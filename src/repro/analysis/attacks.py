@@ -1,0 +1,88 @@
+"""SQL-injection attack-language specifications.
+
+The paper approximates "unsafe SQL query" as *contains a single quote*
+(Sec. 3.2, citing Wassermann & Su), and that is our default.  The
+richer specs model the concrete attack shapes the paper's Sec. 2
+discusses (tautologies, piggybacked statements, comment truncation);
+they plug into the same pipeline, since an attack spec is just a
+regular language over query strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.nfa import Nfa
+from ..regex import parse_exact, to_nfa
+
+__all__ = [
+    "AttackSpec",
+    "CONTAINS_QUOTE",
+    "UNESCAPED_QUOTE",
+    "TAUTOLOGY",
+    "PIGGYBACK",
+    "COMMENT_TRUNCATION",
+    "ALL_ATTACKS",
+]
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A named regular language of undesired sink strings."""
+
+    name: str
+    description: str
+    pattern: str  # language-level regex over whole query strings
+
+    def machine(self, alphabet: Alphabet = BYTE_ALPHABET) -> Nfa:
+        """Compile the spec for the given alphabet."""
+        return to_nfa(parse_exact(self.pattern, alphabet), alphabet)
+
+
+#: The paper's working approximation: queries containing a single quote
+#: escaped nothing — "one common approximation for an unsafe SQL query".
+CONTAINS_QUOTE = AttackSpec(
+    name="contains-quote",
+    description="query contains an unescaped single quote",
+    pattern=r".*'.*",
+)
+
+#: A quote that is not backslash-escaped: the prefix is a sequence of
+#: escape pairs and harmless characters, then a bare quote.  This is
+#: the right unsafe-query language when escaping sanitizers are
+#: modelled precisely (their output never contains such a quote).
+UNESCAPED_QUOTE = AttackSpec(
+    name="unescaped-quote",
+    description="query contains a single quote not preceded by a backslash",
+    pattern=r"(\\.|[^\\'])*'.*",
+)
+
+#: Classic tautology: a quote followed by OR 1=1 somewhere later.
+TAUTOLOGY = AttackSpec(
+    name="tautology",
+    description="query contains ' OR 1=1 (always-true WHERE clause)",
+    pattern=r".*' ?[oO][rR] 1=1.*",
+)
+
+#: Piggybacked statement: a quote, then a statement separator.
+PIGGYBACK = AttackSpec(
+    name="piggyback",
+    description="query contains a quote followed by a ';' separator",
+    pattern=r".*'.*;.*",
+)
+
+#: Comment truncation: a quote and a trailing SQL comment marker.
+COMMENT_TRUNCATION = AttackSpec(
+    name="comment-truncation",
+    description="query contains a quote and a -- comment marker",
+    pattern=r".*'.*--.*",
+)
+
+ALL_ATTACKS = (
+    CONTAINS_QUOTE,
+    UNESCAPED_QUOTE,
+    TAUTOLOGY,
+    PIGGYBACK,
+    COMMENT_TRUNCATION,
+)

@@ -1,0 +1,102 @@
+"""Transducer models of PHP's string-sanitizing functions.
+
+The paper's havoc model (a sanitized value is simply "quote-free") is
+sound for reachability but imprecise: it cannot distinguish
+``addslashes`` from deletion, and it cannot see double-decoding bugs
+(``stripslashes(addslashes($x))``).  Following the future-work
+direction of paper Sec. 5 (combining the decision procedure with
+Wassermann et al.'s FST-reversal idea), each sanitizer here is a
+:class:`~repro.automata.fst.Fst`, giving the analysis two precise
+facts:
+
+* the *output language* ``T(Σ*)`` — a constraint on the sanitized
+  value that replaces the quote-free approximation, and
+* the *pre-image* ``T⁻¹(L)`` — mapping the solver's answer for the
+  sanitized value back to concrete attacker inputs (or proving no
+  input exists).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.charset import CharSet
+from ..automata.fst import Fst, escape_chars, lowercase, replace_all
+from ..automata.nfa import Nfa
+
+__all__ = [
+    "transducer_for",
+    "strip_slashes",
+    "output_language",
+    "TRANSDUCER_FUNCTIONS",
+]
+
+#: Characters PHP's addslashes / mysql escaping protect.
+_ESCAPED = CharSet.of("'\"\\\x00")
+
+
+def strip_slashes(alphabet: Alphabet = BYTE_ALPHABET) -> Fst:
+    """PHP ``stripslashes``: remove one level of backslash escaping.
+
+    ``\\x`` becomes ``x`` for any ``x``; a trailing lone backslash is
+    dropped (PHP's behaviour).
+    """
+    fst = Fst(alphabet)
+    plain = fst.add_state()
+    pending = fst.add_state()
+    backslash = CharSet.single("\\")
+    fst.add_edge(plain, alphabet.universe - backslash, plain, copy=True)
+    fst.add_edge(plain, backslash, pending)
+    fst.add_edge(pending, alphabet.universe, plain, copy=True)
+    fst.set_final(plain)
+    fst.set_final(pending, flush="")  # trailing backslash vanishes
+    return fst
+
+
+def _uppercase(alphabet: Alphabet) -> Fst:
+    from ..automata.fst import char_map
+
+    return char_map(
+        lambda cp: chr(cp - 32) if ord("a") <= cp <= ord("z") else None,
+        alphabet,
+    )
+
+
+#: name → factory(alphabet) for the sanitizers we model exactly.
+TRANSDUCER_FUNCTIONS: dict[str, Callable[[Alphabet], Fst]] = {
+    "addslashes": lambda a: escape_chars(_ESCAPED, alphabet=a),
+    "mysql_real_escape_string": lambda a: escape_chars(_ESCAPED, alphabet=a),
+    "mysqli_real_escape_string": lambda a: escape_chars(_ESCAPED, alphabet=a),
+    "stripslashes": strip_slashes,
+    "strtolower": lambda a: lowercase(a),
+    "strtoupper": _uppercase,
+}
+
+
+def transducer_for(
+    name: str,
+    alphabet: Alphabet = BYTE_ALPHABET,
+    args: Optional[list[str]] = None,
+) -> Optional[Fst]:
+    """The transducer for a PHP call, or None if it is not modelled.
+
+    ``str_replace`` is special: its transducer depends on the first two
+    (literal) arguments, passed via ``args``.
+    """
+    lowered = name.lower()
+    if lowered == "str_replace":
+        if not args or len(args) < 2 or not args[0]:
+            return None
+        return replace_all(args[0], args[1], alphabet)
+    factory = TRANSDUCER_FUNCTIONS.get(lowered)
+    if factory is None:
+        return None
+    return factory(alphabet)
+
+
+def output_language(fst: Fst) -> Nfa:
+    """``T(Σ*)``: everything the sanitizer can possibly emit."""
+    from ..automata.fst import image
+
+    return image(fst, Nfa.universal(fst.alphabet))

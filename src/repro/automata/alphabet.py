@@ -1,0 +1,70 @@
+"""Alphabets: the universe ``Σ`` against which complements are taken.
+
+The paper's machines range over an unspecified finite alphabet; our
+default is the byte alphabet ``0..255``, which is what the PHP strings
+in the evaluation actually carry.  An :class:`Alphabet` bundles the
+universe with the named character classes the regex front end needs
+(``\\d``, ``\\w``, ``\\s``, ...).
+"""
+
+from __future__ import annotations
+
+from .charset import CharSet
+
+__all__ = ["Alphabet", "BYTE_ALPHABET", "ASCII_PRINTABLE"]
+
+
+class Alphabet:
+    """A finite universe of characters with named sub-classes."""
+
+    def __init__(self, universe: CharSet, name: str = "custom"):
+        if universe.is_empty():
+            raise ValueError("alphabet universe must be non-empty")
+        self.universe = universe
+        self.name = name
+
+    # Named classes used by the regex compiler.  Each is clipped to the
+    # universe so that e.g. ``\d`` inside an {a, b} alphabet is empty
+    # rather than an error.
+
+    @property
+    def digit(self) -> CharSet:
+        return CharSet.range("0", "9") & self.universe
+
+    @property
+    def word(self) -> CharSet:
+        word = (
+            CharSet.range("a", "z")
+            | CharSet.range("A", "Z")
+            | CharSet.range("0", "9")
+            | CharSet.single("_")
+        )
+        return word & self.universe
+
+    @property
+    def space(self) -> CharSet:
+        return CharSet.of(" \t\n\r\x0b\x0c") & self.universe
+
+    def negate(self, cls: CharSet) -> CharSet:
+        """Complement of ``cls`` within this alphabet."""
+        return self.universe - cls
+
+    def contains_string(self, text: str) -> bool:
+        """True if every character of ``text`` is in the universe."""
+        return all(ch in self.universe for ch in text)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({self.name}, |Σ|={self.universe.cardinality()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Alphabet) and self.universe == other.universe
+
+    def __hash__(self) -> int:
+        return hash(self.universe)
+
+
+#: The default alphabet: all byte values, as in PHP strings.
+BYTE_ALPHABET = Alphabet(CharSet.range(0, 255), name="bytes")
+
+#: Printable ASCII, handy for readable witnesses in examples and tests.
+ASCII_PRINTABLE = Alphabet(CharSet.range(0x20, 0x7E), name="ascii-printable")

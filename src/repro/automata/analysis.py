@@ -1,0 +1,240 @@
+"""Language analysis: witnesses, enumeration, counting, finiteness.
+
+The paper's prototype turns satisfying *languages* into concrete
+testcase *inputs* (Sec. 4); these helpers extract such inputs from the
+solver's NFAs and also power the test suite's oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Iterator, Optional
+
+from .charset import minterms
+from .dfa import determinize
+from .nfa import Nfa
+
+__all__ = [
+    "shortest_string",
+    "enumerate_strings",
+    "count_strings",
+    "is_finite",
+    "language_size",
+    "random_string",
+]
+
+
+def shortest_string(nfa: Nfa) -> Optional[str]:
+    """A shortest member of the language, or None if it is empty.
+
+    0-1 BFS: ε-edges cost nothing, character edges cost one symbol.
+    Among equal-length strings the result is the lexicographically
+    least by construction order of the deque (not guaranteed minimal
+    lexicographically, but deterministic for a given machine).
+    """
+    # parent[state] = (previous state, character or None)
+    parent: dict[int, tuple[Optional[int], Optional[str]]] = {}
+    queue: deque[int] = deque()
+    for start in nfa.starts:
+        parent[start] = (None, None)
+        queue.appendleft(start)
+
+    goal: Optional[int] = None
+    while queue:
+        state = queue.popleft()
+        if state in nfa.finals:
+            goal = state
+            break
+        for edge in nfa.out_edges(state):
+            if edge.dst in parent:
+                continue
+            if edge.is_epsilon:
+                parent[edge.dst] = (state, None)
+                queue.appendleft(edge.dst)
+            else:
+                parent[edge.dst] = (state, edge.label.sample())
+                queue.append(edge.dst)
+    if goal is None:
+        return None
+    chars: list[str] = []
+    cursor: Optional[int] = goal
+    while cursor is not None:
+        prev, ch = parent[cursor]
+        if ch is not None:
+            chars.append(ch)
+        cursor = prev
+    return "".join(reversed(chars))
+
+
+def enumerate_strings(
+    nfa: Nfa, limit: int = 100, max_length: int = 64, expand_classes: bool = True
+) -> Iterator[str]:
+    """Yield members of the language in shortlex order, up to ``limit``.
+
+    When ``expand_classes`` is False, one representative character is
+    yielded per transition class instead of every member — handy for
+    eyeballing big classes like ``Σ``.
+    """
+    if limit <= 0:
+        return
+    emitted = 0
+    start = nfa.epsilon_closure(nfa.starts)
+    frontier: deque[tuple[str, frozenset[int]]] = deque([("", start)])
+    while frontier and emitted < limit:
+        prefix, states = frontier.popleft()
+        if states & nfa.finals:
+            yield prefix
+            emitted += 1
+            if emitted >= limit:
+                return
+        if len(prefix) >= max_length:
+            continue
+        labels = nfa.labels_from(states)
+        for block in minterms(labels):
+            chars = block.chars() if expand_classes else [block.sample()]
+            for ch in chars:
+                target = nfa.step(states, ch)
+                if target:
+                    frontier.append((prefix + ch, target))
+
+
+def count_strings(nfa: Nfa, length: int) -> int:
+    """The exact number of strings of the given length in the language."""
+    dfa = determinize(nfa)
+    counts = {state: 0 for state in dfa.states}
+    counts[dfa.start] = 1
+    for _ in range(length):
+        nxt = {state: 0 for state in dfa.states}
+        for state, count in counts.items():
+            if count == 0:
+                continue
+            for label, dst in dfa.transitions[state]:
+                nxt[dst] += count * label.cardinality()
+        counts = nxt
+    return sum(count for state, count in counts.items() if state in dfa.finals)
+
+
+def is_finite(nfa: Nfa) -> bool:
+    """True iff the language is a finite set of strings.
+
+    The language is infinite exactly when a live state lies on a cycle
+    that includes at least one character transition (pure ε-cycles do
+    not add strings).
+    """
+    live = nfa.live_states()
+    # Tarjan-free check: iterative DFS looking for a character-bearing
+    # cycle within the live sub-machine.
+    color: dict[int, int] = {}  # 0=in progress, 1=done
+
+    for root in live:
+        if root in color:
+            continue
+        # stack entries: (state, iterator over (dst, has_char)).
+        stack = [(root, iter(_live_successors(nfa, root, live)))]
+        color[root] = 0
+        path_chars: list[bool] = [False]
+        on_path = {root: 0}
+        while stack:
+            state, successors = stack[-1]
+            advanced = False
+            for dst, has_char in successors:
+                if dst in on_path:
+                    # Found a cycle; does it carry a character?
+                    join = on_path[dst]
+                    if has_char or any(path_chars[join + 1 :]):
+                        return False
+                    continue
+                if dst in color:
+                    continue
+                color[dst] = 0
+                on_path[dst] = len(stack)
+                stack.append((dst, iter(_live_successors(nfa, dst, live))))
+                path_chars.append(has_char)
+                advanced = True
+                break
+            if not advanced:
+                color[state] = 1
+                del on_path[state]
+                stack.pop()
+                path_chars.pop()
+    return True
+
+
+def _live_successors(nfa: Nfa, state: int, live: set[int]):
+    for edge in nfa.out_edges(state):
+        if edge.dst in live:
+            yield edge.dst, edge.label is not None
+
+
+def language_size(nfa: Nfa, cap: int = 1_000_000) -> Optional[int]:
+    """Number of strings in the language, or None if infinite.
+
+    ``cap`` bounds the work for pathological finite languages (e.g. Σⁿ
+    over the byte alphabet); a result above the cap raises ValueError.
+    """
+    if not is_finite(nfa):
+        return None
+    trimmed = nfa.trim()
+    if trimmed.is_empty():
+        return 0
+    # No character-bearing cycle exists, so every member's length is at
+    # most the number of live states.  Run the determinized machine's
+    # counting DP once, summing final-state mass at every length.
+    bound = trimmed.num_states
+    dfa = determinize(trimmed)
+    counts = {state: 0 for state in dfa.states}
+    counts[dfa.start] = 1
+    total = 0
+    for _ in range(bound + 1):
+        total += sum(counts[state] for state in dfa.finals)
+        if total > cap:
+            raise ValueError(f"finite language larger than cap={cap}")
+        nxt = {state: 0 for state in dfa.states}
+        for state, count in counts.items():
+            if count == 0:
+                continue
+            for label, dst in dfa.transitions[state]:
+                nxt[dst] += count * label.cardinality()
+        counts = nxt
+    return total
+
+
+def random_string(
+    nfa: Nfa, rng: Optional[random.Random] = None, max_length: int = 64
+) -> Optional[str]:
+    """A random member of the language, or None if it is empty.
+
+    Performs a random walk over live states, stopping at final states
+    with probability proportional to remaining budget.  Used by the
+    property-based tests to sample counterexample candidates.
+    """
+    rng = rng or random.Random()
+    live = nfa.live_states()
+    current = [s for s in nfa.epsilon_closure(nfa.starts) if s in live]
+    if not current:
+        return None
+    chars: list[str] = []
+    for _ in range(max_length):
+        state_set = frozenset(current)
+        can_stop = bool(state_set & nfa.finals)
+        if can_stop and rng.random() < max(0.15, len(chars) / max_length):
+            return "".join(chars)
+        labels = [
+            edge.label
+            for state in state_set
+            for edge in nfa.out_edges(state)
+            if edge.label is not None and edge.dst in live
+        ]
+        blocks = minterms(labels)
+        if not blocks:
+            return "".join(chars) if can_stop else None
+        block = rng.choice(blocks)
+        members = list(block.codepoints())
+        ch = chr(rng.choice(members[: min(len(members), 64)]))
+        nxt = [s for s in nfa.step(state_set, ch) if s in live]
+        if not nxt:
+            return "".join(chars) if can_stop else None
+        chars.append(ch)
+        current = nxt
+    return "".join(chars) if frozenset(current) & nfa.finals else None

@@ -1,0 +1,409 @@
+"""Finite-state transducers over symbolic alphabets.
+
+The paper's related-work section points at Wassermann et al.'s
+observation that "many common string operations can be reversed using
+finite state transducers" and proposes investigating the combination as
+future work (Sec. 5).  This module is that combination's substrate: a
+transducer class rich enough to model PHP's string functions
+(``addslashes``, ``str_replace``, ``strtolower``, character deletion),
+with the two operations the analysis needs:
+
+* :func:`image` — the forward image ``T(L)`` of a regular language;
+* :func:`preimage` — the inverse image ``T⁻¹(L) = {w | T(w) ∩ L ≠ ∅}``.
+
+Both are regular (transducers preserve regularity in either direction),
+so solver results can be pushed backwards through sanitizers: if the
+solver says a *sanitized* value must lie in language ``L`` to exploit a
+sink, the attacker-controlled input must lie in ``preimage(T, L)`` —
+which may well be empty, proving the sanitizer effective.
+
+Transition outputs are ``(prefix, copy)`` pairs: emit the literal
+``prefix``, then optionally the consumed input character.  This is
+expressive enough for escaping (prefix ``"\\"``, copy) and replacement
+(buffered literals) while keeping :func:`preimage` a simple product
+construction.  Per-state ``final_output`` strings flush buffered text
+at end of input (needed by ``replace_all``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, NamedTuple, Optional
+
+from .. import stats
+from .alphabet import BYTE_ALPHABET, Alphabet
+from .charset import CharSet, minterms
+from .nfa import Nfa
+
+__all__ = [
+    "FstEdge",
+    "Fst",
+    "image",
+    "preimage",
+    "identity",
+    "char_map",
+    "delete_chars",
+    "escape_chars",
+    "lowercase",
+    "replace_all",
+]
+
+
+class FstEdge(NamedTuple):
+    """One transducer transition.
+
+    ``label`` is the consumed character class (never ε here — every
+    edge consumes exactly one input character; insertions happen via
+    ``prefix`` and ``final_output``).  On taking the edge the machine
+    emits ``prefix`` and then, if ``copy``, the consumed character.
+    """
+
+    label: CharSet
+    prefix: str
+    copy: bool
+    dst: int
+
+
+class Fst:
+    """A deterministic-enough letter transducer.
+
+    The class itself does not enforce determinism; :meth:`apply`
+    follows all matching edges and returns every output (sanitizer
+    models are functional in practice, so the set is a singleton).
+    """
+
+    def __init__(self, alphabet: Alphabet = BYTE_ALPHABET):
+        self.alphabet = alphabet
+        self._next_state = 0
+        self.start: int = 0
+        self.finals: set[int] = set()
+        self.final_output: dict[int, str] = {}
+        self._edges: dict[int, list[FstEdge]] = {}
+
+    def add_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        self._edges[state] = []
+        return state
+
+    def add_edge(
+        self, src: int, label: CharSet, dst: int, prefix: str = "", copy: bool = False
+    ) -> None:
+        if label.is_empty():
+            return
+        if src not in self._edges or dst not in self._edges:
+            raise ValueError("unknown transducer state")
+        self._edges[src].append(FstEdge(label, prefix, copy, dst))
+
+    def set_final(self, state: int, flush: str = "") -> None:
+        self.finals.add(state)
+        self.final_output[state] = flush
+
+    def out_edges(self, state: int) -> list[FstEdge]:
+        return self._edges[state]
+
+    @property
+    def num_states(self) -> int:
+        return len(self._edges)
+
+    # -- direct application (test oracle) ------------------------------
+
+    def apply(self, text: str) -> set[str]:
+        """All outputs for ``text`` (singleton for functional machines)."""
+        current: set[tuple[int, str]] = {(self.start, "")}
+        for ch in text:
+            nxt: set[tuple[int, str]] = set()
+            for state, out in current:
+                for edge in self._edges[state]:
+                    if ch in edge.label:
+                        emitted = edge.prefix + (ch if edge.copy else "")
+                        nxt.add((edge.dst, out + emitted))
+            current = nxt
+            if not current:
+                return set()
+        return {
+            out + self.final_output.get(state, "")
+            for state, out in current
+            if state in self.finals
+        }
+
+    def apply_one(self, text: str) -> Optional[str]:
+        """The unique output, or None if the input is rejected."""
+        outputs = self.apply(text)
+        if len(outputs) > 1:
+            raise ValueError(f"transducer is not functional on {text!r}")
+        return next(iter(outputs), None)
+
+    def __repr__(self) -> str:
+        edges = sum(len(v) for v in self._edges.values())
+        return f"<Fst states={self.num_states} edges={edges}>"
+
+
+# -- regular-language transport ------------------------------------------
+
+
+def image(fst: Fst, language: Nfa) -> Nfa:
+    """The forward image ``{T(w) | w ∈ L}`` as an NFA.
+
+    Product walk over ``(fst state, nfa state)`` pairs: an FST edge
+    consuming class ``c`` pairs with each NFA edge whose label overlaps
+    ``c``; the product edge *emits* the FST output, which becomes a
+    chain of literal transitions in the result.
+    """
+    stats.count_operation("fst_image")
+    if fst.alphabet != language.alphabet:
+        raise ValueError("alphabet mismatch between transducer and language")
+    out = Nfa(fst.alphabet)
+    ids: dict[tuple[int, frozenset[int]], int] = {}
+    worklist: list[tuple[int, frozenset[int]]] = []
+
+    def intern(key: tuple[int, frozenset[int]]) -> int:
+        if key not in ids:
+            ids[key] = out.add_state()
+            worklist.append(key)
+        return ids[key]
+
+    start_key = (fst.start, language.epsilon_closure(language.starts))
+    intern(start_key)
+    out.starts = {ids[start_key]}
+
+    while worklist:
+        key = worklist.pop()
+        fst_state, nfa_states = key
+        src = ids[key]
+        stats.visit_states(1)
+        if fst_state in fst.finals and nfa_states & language.finals:
+            flush = fst.final_output.get(fst_state, "")
+            _emit_string(out, src, flush, make_final=True)
+        for edge in fst.out_edges(fst_state):
+            # Split the consumed class by the language's own labels so
+            # COPY outputs stay class-uniform.
+            labels = [
+                nfa_edge.label & edge.label
+                for state in nfa_states
+                for nfa_edge in language.out_edges(state)
+                if nfa_edge.label is not None
+                and not (nfa_edge.label & edge.label).is_empty()
+            ]
+            for block in minterms(labels):
+                target = language.step(nfa_states, block.min_char())
+                if not target:
+                    continue
+                dst = intern((edge.dst, target))
+                cursor = _emit_string(out, src, edge.prefix)
+                if edge.copy:
+                    out.add_transition(cursor, block, dst)
+                else:
+                    if cursor == src and not edge.prefix:
+                        out.add_epsilon(cursor, dst)
+                    else:
+                        out.add_epsilon(cursor, dst)
+    return out.trim()
+
+
+def _emit_string(nfa: Nfa, src: int, text: str, make_final: bool = False) -> int:
+    """Append a literal chain for ``text`` starting at ``src``;
+    returns the last state (marked final when requested)."""
+    cursor = src
+    for ch in text:
+        nxt = nfa.add_state()
+        nfa.add_char(cursor, ch, nxt)
+        cursor = nxt
+    if make_final:
+        nfa.finals.add(cursor)
+    return cursor
+
+
+def preimage(fst: Fst, language: Nfa) -> Nfa:
+    """The inverse image ``{w | T(w) ∩ L ≠ ∅}`` as an NFA.
+
+    Product walk over ``(fst state, nfa state)``: taking an FST edge
+    requires the *output* (prefix, then optionally the copied input
+    character) to be consumable by the language machine.  Copy edges
+    constrain the consumed input class to characters the language can
+    also read at that point, which keeps everything symbolic.
+    """
+    stats.count_operation("fst_preimage")
+    if fst.alphabet != language.alphabet:
+        raise ValueError("alphabet mismatch between transducer and language")
+    out = Nfa(fst.alphabet)
+    ids: dict[tuple[int, int], int] = {}
+    worklist: list[tuple[int, int]] = []
+
+    def intern(key: tuple[int, int]) -> int:
+        if key not in ids:
+            ids[key] = out.add_state()
+            worklist.append(key)
+        return ids[key]
+
+    for q in language.epsilon_closure(language.starts):
+        intern((fst.start, q))
+    out.starts = set(ids.values())
+
+    while worklist:
+        key = worklist.pop()
+        fst_state, nfa_state = key
+        src = ids[key]
+        stats.visit_states(1)
+
+        if fst_state in fst.finals:
+            flush = fst.final_output.get(fst_state, "")
+            for landing in _consume(language, {nfa_state}, flush):
+                if landing in language.finals:
+                    out.finals.add(src)
+                    break
+
+        for edge in fst.out_edges(fst_state):
+            after_prefix = _consume(language, {nfa_state}, edge.prefix)
+            if not after_prefix:
+                continue
+            if edge.copy:
+                for mid in after_prefix:
+                    for nfa_edge in language.out_edges(mid):
+                        if nfa_edge.label is None:
+                            continue
+                        both = nfa_edge.label & edge.label
+                        if both.is_empty():
+                            continue
+                        for landing in language.epsilon_closure([nfa_edge.dst]):
+                            out.add_transition(
+                                src, both, intern((edge.dst, landing))
+                            )
+            else:
+                for landing in after_prefix:
+                    out.add_transition(
+                        src, edge.label, intern((edge.dst, landing))
+                    )
+    return out.trim()
+
+
+def _consume(language: Nfa, states: Iterable[int], text: str) -> frozenset[int]:
+    """NFA states reachable from ``states`` by consuming ``text``."""
+    current = language.epsilon_closure(states)
+    for ch in text:
+        if not current:
+            break
+        current = language.step(current, ch)
+    return frozenset(current)
+
+
+# -- builders ---------------------------------------------------------------
+
+
+def identity(alphabet: Alphabet = BYTE_ALPHABET) -> Fst:
+    """The identity transducer ``T(w) = w``."""
+    fst = Fst(alphabet)
+    state = fst.add_state()
+    fst.add_edge(state, alphabet.universe, state, copy=True)
+    fst.set_final(state)
+    return fst
+
+
+def char_map(
+    mapping: Callable[[int], Optional[str]], alphabet: Alphabet = BYTE_ALPHABET
+) -> Fst:
+    """A per-character rewriting transducer.
+
+    ``mapping(codepoint)`` returns the replacement string for that
+    character, or None to copy it unchanged.  Characters mapping to the
+    same replacement are merged into one symbolic edge.
+    """
+    fst = Fst(alphabet)
+    state = fst.add_state()
+    copy_class = CharSet.empty()
+    groups: dict[str, CharSet] = {}
+    for cp in alphabet.universe.codepoints():
+        replacement = mapping(cp)
+        if replacement is None:
+            copy_class = copy_class | CharSet.single(cp)
+        else:
+            groups[replacement] = groups.get(replacement, CharSet.empty()) | (
+                CharSet.single(cp)
+            )
+    fst.add_edge(state, copy_class, state, copy=True)
+    for replacement, cls in groups.items():
+        fst.add_edge(state, cls, state, prefix=replacement, copy=False)
+    fst.set_final(state)
+    return fst
+
+
+def delete_chars(chars: CharSet, alphabet: Alphabet = BYTE_ALPHABET) -> Fst:
+    """Remove every occurrence of the given characters."""
+    return char_map(lambda cp: "" if cp in chars else None, alphabet)
+
+
+def escape_chars(
+    chars: CharSet, escape: str = "\\", alphabet: Alphabet = BYTE_ALPHABET
+) -> Fst:
+    """Prefix each of ``chars`` with ``escape`` (the addslashes shape)."""
+    fst = Fst(alphabet)
+    state = fst.add_state()
+    fst.add_edge(state, alphabet.universe - chars, state, copy=True)
+    fst.add_edge(state, chars, state, prefix=escape, copy=True)
+    fst.set_final(state)
+    return fst
+
+
+def lowercase(alphabet: Alphabet = BYTE_ALPHABET) -> Fst:
+    """ASCII strtolower."""
+    return char_map(
+        lambda cp: chr(cp + 32) if ord("A") <= cp <= ord("Z") else None,
+        alphabet,
+    )
+
+
+def replace_all(
+    find: str, replacement: str, alphabet: Alphabet = BYTE_ALPHABET
+) -> Fst:
+    """PHP ``str_replace``: leftmost, non-overlapping replacement.
+
+    KMP construction: state ``j`` means ``find[:j]`` is buffered (not
+    yet emitted).  On the next matching character the buffer grows; on
+    a full match the replacement is emitted and the buffer resets; on a
+    mismatch the part of the buffer that can no longer start a match is
+    flushed.  End of input flushes the whole buffer via
+    ``final_output``.
+    """
+    if not find:
+        raise ValueError("cannot replace the empty string")
+    if not alphabet.contains_string(find) or not alphabet.contains_string(
+        replacement
+    ):
+        raise ValueError("pattern or replacement outside the alphabet")
+
+    fst = Fst(alphabet)
+    states = [fst.add_state() for _ in range(len(find))]
+    pattern_chars = CharSet.of(find)
+
+    def kmp_state(buffered: str) -> tuple[int, str]:
+        """Longest proper suffix of ``buffered`` that prefixes ``find``;
+        returns (new state, flushed output)."""
+        for keep in range(min(len(buffered), len(find) - 1), -1, -1):
+            if find.startswith(buffered[len(buffered) - keep :]):
+                return keep, buffered[: len(buffered) - keep]
+        return 0, buffered
+
+    for j, state in enumerate(states):
+        # Advance on the expected character.
+        expected = CharSet.single(find[j])
+        if j + 1 == len(find):
+            fst.add_edge(state, expected, states[0], prefix=replacement)
+        else:
+            fst.add_edge(state, expected, states[j + 1])
+        # Any character not in the pattern at all: flush everything.
+        outside = alphabet.universe - pattern_chars
+        fst.add_edge(state, outside, states[0], prefix=find[:j], copy=True)
+        # Pattern characters that mismatch here: KMP fallback.
+        for cp in pattern_chars.codepoints():
+            ch = chr(cp)
+            if ch == find[j]:
+                continue
+            new_state, flushed = kmp_state(find[:j] + ch)
+            fst.add_edge(
+                state,
+                CharSet.single(ch),
+                states[new_state],
+                prefix=flushed,
+                copy=False,
+            )
+        fst.set_final(state, flush=find[:j])
+    return fst

@@ -1,0 +1,391 @@
+"""Nondeterministic finite automata with ε-transitions.
+
+This is the machine representation the paper's algorithms manipulate
+(Sec. 3.2).  Transitions are labelled with :class:`~repro.automata.charset.CharSet`
+values; ``None`` labels are ε-transitions.
+
+Two details matter for the decision procedure:
+
+* **Bridge tags.**  The concatenation construction (paper Fig. 3 line 6)
+  introduces a single ε-transition between the operand machines.  The CI
+  algorithm later needs to find the *images* of that transition inside a
+  product machine.  We attach an opaque ``tag`` to the bridging edge;
+  the product construction propagates tags, so the images can be found
+  by tag rather than by guessing from state names.
+* **No implicit self-loops.**  As in the paper, states do not implicitly
+  ε-step to themselves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, NamedTuple, Optional
+
+from .alphabet import BYTE_ALPHABET, Alphabet
+from .charset import CharSet
+
+__all__ = ["Edge", "Nfa", "BridgeTag"]
+
+
+class BridgeTag:
+    """Opaque identity for a concatenation's bridging ε-transition.
+
+    One tag is minted per concatenation; every image of the bridge edge
+    inside later product machines carries the same tag.
+    """
+
+    __slots__ = ("label",)
+    _counter = 0
+
+    def __init__(self, label: str = ""):
+        BridgeTag._counter += 1
+        self.label = label or f"bridge{BridgeTag._counter}"
+
+    def __repr__(self) -> str:
+        return f"<BridgeTag {self.label}>"
+
+
+class Edge(NamedTuple):
+    """A single transition: ``label`` is a CharSet, or None for ε."""
+
+    label: Optional[CharSet]
+    dst: int
+    tag: Optional[BridgeTag] = None
+
+    @property
+    def is_epsilon(self) -> bool:
+        return self.label is None
+
+
+class Nfa:
+    """A mutable ε-NFA over a symbolic alphabet.
+
+    States are small integers allocated by :meth:`add_state`.  The
+    machine keeps explicit *sets* of start and final states; the
+    single-start/single-final normal form the paper assumes is
+    available via :meth:`normalized`.
+    """
+
+    def __init__(self, alphabet: Alphabet = BYTE_ALPHABET):
+        self.alphabet = alphabet
+        self._next_state = 0
+        self.starts: set[int] = set()
+        self.finals: set[int] = set()
+        self._edges: dict[int, list[Edge]] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add_state(self) -> int:
+        """Allocate and return a fresh state id."""
+        state = self._next_state
+        self._next_state += 1
+        self._edges[state] = []
+        return state
+
+    def add_states(self, count: int) -> list[int]:
+        return [self.add_state() for _ in range(count)]
+
+    def add_transition(
+        self,
+        src: int,
+        label: Optional[CharSet],
+        dst: int,
+        tag: Optional[BridgeTag] = None,
+    ) -> None:
+        """Add an edge; ``label=None`` adds an ε-transition."""
+        if label is not None and label.is_empty():
+            return
+        self._check_state(src)
+        self._check_state(dst)
+        self._edges[src].append(Edge(label, dst, tag))
+
+    def add_epsilon(self, src: int, dst: int, tag: Optional[BridgeTag] = None) -> None:
+        self.add_transition(src, None, dst, tag)
+
+    def add_char(self, src: int, char: str, dst: int) -> None:
+        self.add_transition(src, CharSet.single(char), dst)
+
+    def set_start(self, state: int) -> None:
+        self._check_state(state)
+        self.starts = {state}
+
+    def set_final(self, state: int) -> None:
+        self._check_state(state)
+        self.finals = {state}
+
+    def _check_state(self, state: int) -> None:
+        if state not in self._edges:
+            raise ValueError(f"unknown state {state}")
+
+    # -- canonical small machines --------------------------------------
+
+    @classmethod
+    def never(cls, alphabet: Alphabet = BYTE_ALPHABET) -> "Nfa":
+        """The machine accepting the empty *language*."""
+        nfa = cls(alphabet)
+        nfa.starts = {nfa.add_state()}
+        return nfa
+
+    @classmethod
+    def epsilon_only(cls, alphabet: Alphabet = BYTE_ALPHABET) -> "Nfa":
+        """The machine accepting exactly the empty string."""
+        nfa = cls(alphabet)
+        state = nfa.add_state()
+        nfa.starts = {state}
+        nfa.finals = {state}
+        return nfa
+
+    @classmethod
+    def literal(cls, text: str, alphabet: Alphabet = BYTE_ALPHABET) -> "Nfa":
+        """The machine accepting exactly ``text``."""
+        nfa = cls(alphabet)
+        state = nfa.add_state()
+        nfa.starts = {state}
+        for ch in text:
+            nxt = nfa.add_state()
+            nfa.add_char(state, ch, nxt)
+            state = nxt
+        nfa.finals = {state}
+        return nfa
+
+    @classmethod
+    def char_class(cls, chars: CharSet, alphabet: Alphabet = BYTE_ALPHABET) -> "Nfa":
+        """The machine accepting any single character from ``chars``."""
+        nfa = cls(alphabet)
+        src = nfa.add_state()
+        dst = nfa.add_state()
+        nfa.add_transition(src, chars, dst)
+        nfa.starts = {src}
+        nfa.finals = {dst}
+        return nfa
+
+    @classmethod
+    def universal(cls, alphabet: Alphabet = BYTE_ALPHABET) -> "Nfa":
+        """The machine accepting ``Σ*``."""
+        nfa = cls(alphabet)
+        state = nfa.add_state()
+        nfa.add_transition(state, alphabet.universe, state)
+        nfa.starts = {state}
+        nfa.finals = {state}
+        return nfa
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def states(self) -> Iterable[int]:
+        return self._edges.keys()
+
+    @property
+    def num_states(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(edges) for edges in self._edges.values())
+
+    def out_edges(self, state: int) -> list[Edge]:
+        return self._edges[state]
+
+    def edges(self) -> Iterator[tuple[int, Edge]]:
+        """Iterate all ``(src, edge)`` pairs."""
+        for src, edges in self._edges.items():
+            for edge in edges:
+                yield src, edge
+
+    def labels_from(self, states: Iterable[int]) -> list[CharSet]:
+        """All non-ε labels leaving any of ``states``."""
+        return [
+            edge.label
+            for state in states
+            for edge in self._edges[state]
+            if edge.label is not None
+        ]
+
+    # -- ε-closure and simulation ----------------------------------------
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via ε-transitions."""
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for edge in self._edges[state]:
+                if edge.is_epsilon and edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[int], char: str | int) -> frozenset[int]:
+        """One symbol step (including closing under ε afterwards)."""
+        cp = char if isinstance(char, int) else ord(char)
+        moved = {
+            edge.dst
+            for state in states
+            for edge in self._edges[state]
+            if edge.label is not None and cp in edge.label
+        }
+        return self.epsilon_closure(moved)
+
+    def accepts(self, text: str) -> bool:
+        """Decide membership of ``text`` in the machine's language."""
+        current = self.epsilon_closure(self.starts)
+        for ch in text:
+            if not current:
+                return False
+            current = self.step(current, ch)
+        return bool(current & self.finals)
+
+    def __contains__(self, text: str) -> bool:
+        return self.accepts(text)
+
+    # -- reachability / structure ----------------------------------------
+
+    def reachable_from(self, roots: Iterable[int]) -> set[int]:
+        """States reachable from ``roots`` via any transition."""
+        seen = set(roots)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for edge in self._edges[state]:
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    queue.append(edge.dst)
+        return seen
+
+    def coreachable(self) -> set[int]:
+        """States from which some final state is reachable."""
+        preds: dict[int, set[int]] = {state: set() for state in self._edges}
+        for src, edge in self.edges():
+            preds[edge.dst].add(src)
+        seen = set(self.finals)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for pred in preds[state]:
+                if pred not in seen:
+                    seen.add(pred)
+                    queue.append(pred)
+        return seen
+
+    def live_states(self) -> set[int]:
+        """States on some start→final path."""
+        return self.reachable_from(self.starts) & self.coreachable()
+
+    def is_empty(self) -> bool:
+        """True iff the language is empty."""
+        return not (self.reachable_from(self.starts) & self.finals)
+
+    def accepts_epsilon(self) -> bool:
+        return bool(self.epsilon_closure(self.starts) & self.finals)
+
+    # -- transformation ---------------------------------------------------
+
+    def copy(self) -> "Nfa":
+        """A deep structural copy preserving state ids."""
+        clone = Nfa(self.alphabet)
+        clone._next_state = self._next_state
+        clone.starts = set(self.starts)
+        clone.finals = set(self.finals)
+        clone._edges = {state: list(edges) for state, edges in self._edges.items()}
+        return clone
+
+    def with_start(self, state: int) -> "Nfa":
+        """Copy with ``state`` as the only start (paper's induce_from_start)."""
+        clone = self.copy()
+        clone.set_start(state)
+        return clone
+
+    def with_final(self, state: int) -> "Nfa":
+        """Copy with ``state`` as the only final (paper's induce_from_final)."""
+        clone = self.copy()
+        clone.set_final(state)
+        return clone
+
+    def trim(self) -> "Nfa":
+        """Copy restricted to live states (keeps ids).
+
+        The result always retains at least one start state so it remains
+        a well-formed machine even when the language is empty.
+        """
+        live = self.live_states()
+        clone = Nfa(self.alphabet)
+        clone._next_state = self._next_state
+        keep = live | set(self.starts)
+        for state in keep:
+            clone._edges[state] = []
+        for state in keep:
+            clone._edges[state] = [
+                edge
+                for edge in self._edges[state]
+                if edge.dst in live and state in live
+            ]
+        clone.starts = set(self.starts)
+        clone.finals = self.finals & live
+        return clone
+
+    def renumbered(self) -> tuple["Nfa", dict[int, int]]:
+        """Copy with states renumbered densely from 0; returns the map."""
+        mapping = {state: idx for idx, state in enumerate(sorted(self._edges))}
+        clone = Nfa(self.alphabet)
+        clone._next_state = len(mapping)
+        clone._edges = {mapping[s]: [] for s in self._edges}
+        for src, edge in self.edges():
+            clone._edges[mapping[src]].append(
+                Edge(edge.label, mapping[edge.dst], edge.tag)
+            )
+        clone.starts = {mapping[s] for s in self.starts}
+        clone.finals = {mapping[s] for s in self.finals}
+        return clone, mapping
+
+    def map_states(self, fn: Callable[[int], int]) -> "Nfa":
+        """Copy with every state id passed through ``fn`` (must be injective)."""
+        clone = Nfa(self.alphabet)
+        mapped = {fn(s) for s in self._edges}
+        if len(mapped) != len(self._edges):
+            raise ValueError("state mapping is not injective")
+        clone._next_state = max(mapped, default=-1) + 1
+        clone._edges = {fn(s): [] for s in self._edges}
+        for src, edge in self.edges():
+            clone._edges[fn(src)].append(Edge(edge.label, fn(edge.dst), edge.tag))
+        clone.starts = {fn(s) for s in self.starts}
+        clone.finals = {fn(s) for s in self.finals}
+        return clone
+
+    def normalized(self) -> "Nfa":
+        """Copy with a single start state and a single final state.
+
+        This is the form the paper's CI construction assumes (Sec. 3.2).
+        Fresh states and ε-transitions are introduced only when needed.
+        """
+        clone = self.copy()
+        if len(clone.starts) != 1:
+            start = clone.add_state()
+            for old in clone.starts:
+                clone.add_epsilon(start, old)
+            clone.starts = {start}
+        if len(clone.finals) != 1:
+            final = clone.add_state()
+            for old in clone.finals:
+                clone.add_epsilon(old, final)
+            clone.finals = {final}
+        return clone
+
+    @property
+    def start(self) -> int:
+        """The unique start state (raises unless normalized)."""
+        if len(self.starts) != 1:
+            raise ValueError("machine does not have a unique start state")
+        return next(iter(self.starts))
+
+    @property
+    def final(self) -> int:
+        """The unique final state (raises unless normalized)."""
+        if len(self.finals) != 1:
+            raise ValueError("machine does not have a unique final state")
+        return next(iter(self.finals))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Nfa states={self.num_states} transitions={self.num_transitions} "
+            f"starts={sorted(self.starts)} finals={sorted(self.finals)}>"
+        )

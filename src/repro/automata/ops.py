@@ -1,0 +1,351 @@
+"""The automata algebra used by the decision procedure.
+
+The paper's CI construction (Fig. 3) is ``M5 = (M1 · M2) ∩ M3`` where
+the concatenation introduces a single marked ε-transition and the
+intersection is the cross-product construction.  This module provides
+those two operations plus the supporting algebra (union, star,
+complement-based difference, reversal, and the universal quotients used
+by the extensions module).
+
+Concatenation-bridge bookkeeping:  :func:`concat` tags the bridging
+ε-edge(s) with a :class:`~repro.automata.nfa.BridgeTag`; :func:`product`
+propagates tags onto the image edges, so the CI slicer can recover the
+bridge crossings of *any* concatenation nested anywhere inside a tower
+of products simply by scanning for the tag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import stats
+from .charset import minterms
+from .dfa import complement, determinize
+from .nfa import BridgeTag, Nfa
+
+__all__ = [
+    "embed",
+    "union",
+    "concat",
+    "star",
+    "plus",
+    "optional",
+    "eliminate_epsilon",
+    "product",
+    "intersect",
+    "difference",
+    "reverse",
+    "prefix_closure",
+    "suffix_closure",
+    "factor_closure",
+    "left_quotient",
+    "right_quotient",
+]
+
+
+def embed(target: Nfa, source: Nfa) -> dict[int, int]:
+    """Copy ``source``'s states and transitions into ``target``.
+
+    Returns the state map ``source state -> target state``.  Start and
+    final markings of ``target`` are left untouched; callers wire them
+    up explicitly.
+    """
+    if source.alphabet != target.alphabet:
+        raise ValueError("cannot embed machines over different alphabets")
+    mapping = {state: target.add_state() for state in source.states}
+    for src, edge in source.edges():
+        target.add_transition(mapping[src], edge.label, mapping[edge.dst], edge.tag)
+    stats.visit_states(source.num_states)
+    return mapping
+
+
+def union(a: Nfa, b: Nfa) -> Nfa:
+    """Machine for ``L(a) ∪ L(b)``."""
+    stats.count_operation("union")
+    out = Nfa(a.alphabet)
+    map_a = embed(out, a)
+    map_b = embed(out, b)
+    start = out.add_state()
+    for old in a.starts:
+        out.add_epsilon(start, map_a[old])
+    for old in b.starts:
+        out.add_epsilon(start, map_b[old])
+    out.starts = {start}
+    out.finals = {map_a[s] for s in a.finals} | {map_b[s] for s in b.finals}
+    return out
+
+
+def concat(a: Nfa, b: Nfa, tag: Optional[BridgeTag] = None) -> Nfa:
+    """Machine for ``L(a) · L(b)`` (paper Fig. 3, line 6).
+
+    Every final state of ``a`` gets an ε-edge to every start state of
+    ``b``; all these edges carry the same ``tag`` (a fresh one if none
+    is supplied), identifying them as crossings of *this* concatenation.
+    """
+    stats.count_operation("concat")
+    if tag is None:
+        tag = BridgeTag()
+    out = Nfa(a.alphabet)
+    map_a = embed(out, a)
+    map_b = embed(out, b)
+    for fin in a.finals:
+        for st in b.starts:
+            out.add_epsilon(map_a[fin], map_b[st], tag)
+    out.starts = {map_a[s] for s in a.starts}
+    out.finals = {map_b[s] for s in b.finals}
+    return out
+
+
+def star(a: Nfa) -> Nfa:
+    """Machine for ``L(a)*``."""
+    stats.count_operation("star")
+    out = Nfa(a.alphabet)
+    mapping = embed(out, a)
+    hub = out.add_state()
+    for st in a.starts:
+        out.add_epsilon(hub, mapping[st])
+    for fin in a.finals:
+        out.add_epsilon(mapping[fin], hub)
+    out.starts = {hub}
+    out.finals = {hub}
+    return out
+
+
+def plus(a: Nfa) -> Nfa:
+    """Machine for ``L(a)+`` (one or more repetitions)."""
+    return concat(a, star(a), tag=BridgeTag("plus"))
+
+
+def optional(a: Nfa) -> Nfa:
+    """Machine for ``L(a) ∪ {ε}``."""
+    out = a.copy()
+    start = out.add_state()
+    for old in out.starts:
+        out.add_epsilon(start, old)
+    out.starts = {start}
+    out.finals = set(out.finals) | {start}
+    return out
+
+
+def eliminate_epsilon(a: Nfa) -> Nfa:
+    """An ε-free machine for ``L(a)``.
+
+    Standard closure elimination: every state gains the character edges
+    of its ε-closure, becomes final if its closure contains a final
+    state, and all ε-edges are dropped.  Bridge tags live only on
+    ε-edges, so they are necessarily discarded — callers apply this to
+    *constant* machines (whose tags are meaningless) before products,
+    which keeps the number of bridge images per concatenation at one
+    per genuinely distinct crossing state.  The paper's machine figures
+    draw constants ε-free for the same reason.
+    """
+    stats.count_operation("eliminate_epsilon")
+    out = Nfa(a.alphabet)
+    mapping = {state: out.add_state() for state in a.states}
+    for state in a.states:
+        closure = a.epsilon_closure([state])
+        stats.visit_states(1)
+        for member in closure:
+            for edge in a.out_edges(member):
+                if edge.label is not None:
+                    out.add_transition(mapping[state], edge.label, mapping[edge.dst])
+        if closure & a.finals:
+            out.finals.add(mapping[state])
+    out.starts = {mapping[s] for s in a.starts}
+    return out.trim()
+
+
+def product(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
+    """Cross-product machine for ``L(a) ∩ L(b)`` (paper Fig. 3, line 7).
+
+    ε-transitions are handled asynchronously: from pair ``(p, q)`` an
+    ε-edge of either component moves that component alone, carrying its
+    bridge tag with it.  Returns the machine together with the state
+    provenance map ``product state -> (a state, b state)``.
+
+    Only pairs reachable from the start pairs are constructed; this is
+    what the paper's state-visit cost model counts.
+    """
+    stats.count_operation("product")
+    if a.alphabet != b.alphabet:
+        raise ValueError("cannot intersect machines over different alphabets")
+    out = Nfa(a.alphabet)
+    ids: dict[tuple[int, int], int] = {}
+    provenance: dict[int, tuple[int, int]] = {}
+    worklist: list[tuple[int, int]] = []
+
+    def intern(pair: tuple[int, int]) -> int:
+        if pair not in ids:
+            state = out.add_state()
+            ids[pair] = state
+            provenance[state] = pair
+            worklist.append(pair)
+        return ids[pair]
+
+    for p in a.starts:
+        for q in b.starts:
+            intern((p, q))
+    out.starts = set(ids.values())
+
+    while worklist:
+        pair = worklist.pop()
+        p, q = pair
+        src = ids[pair]
+        stats.visit_states(1)
+        for edge in a.out_edges(p):
+            if edge.is_epsilon:
+                out.add_epsilon(src, intern((edge.dst, q)), edge.tag)
+        for edge in b.out_edges(q):
+            if edge.is_epsilon:
+                out.add_epsilon(src, intern((p, edge.dst)), edge.tag)
+        for ea in a.out_edges(p):
+            if ea.is_epsilon:
+                continue
+            for eb in b.out_edges(q):
+                if eb.is_epsilon:
+                    continue
+                both = ea.label & eb.label
+                if not both.is_empty():
+                    out.add_transition(src, both, intern((ea.dst, eb.dst)))
+
+    out.finals = {
+        state
+        for state, (p, q) in provenance.items()
+        if p in a.finals and q in b.finals
+    }
+    return out, provenance
+
+
+def intersect(a: Nfa, b: Nfa) -> Nfa:
+    """Machine for ``L(a) ∩ L(b)`` when provenance is not needed."""
+    machine, _ = product(a, b)
+    return machine
+
+
+def difference(a: Nfa, b: Nfa) -> Nfa:
+    """Machine for ``L(a) \\ L(b)``."""
+    stats.count_operation("difference")
+    return intersect(a, complement(b))
+
+
+def reverse(a: Nfa) -> Nfa:
+    """Machine for the reversal of ``L(a)``."""
+    stats.count_operation("reverse")
+    out = Nfa(a.alphabet)
+    mapping = {state: out.add_state() for state in a.states}
+    for src, edge in a.edges():
+        out.add_transition(mapping[edge.dst], edge.label, mapping[src], edge.tag)
+    out.starts = {mapping[s] for s in a.finals}
+    out.finals = {mapping[s] for s in a.starts}
+    stats.visit_states(a.num_states)
+    return out
+
+
+def prefix_closure(a: Nfa) -> Nfa:
+    """The prefix closure ``{u | ∃v: u·v ∈ L(a)}``.
+
+    Every co-reachable state becomes final.  Useful for modelling
+    "starts-with" reasoning and for incremental witness search.
+    """
+    stats.count_operation("prefixes")
+    out = a.trim()
+    out.finals = out.live_states()
+    return out
+
+
+def suffix_closure(a: Nfa) -> Nfa:
+    """The suffix closure ``{v | ∃u: u·v ∈ L(a)}``."""
+    stats.count_operation("suffixes")
+    out = a.trim()
+    out.starts = out.live_states() or set(out.starts)
+    return out
+
+
+def factor_closure(a: Nfa) -> Nfa:
+    """The factor closure ``{w | ∃u, v: u·w·v ∈ L(a)}``."""
+    stats.count_operation("substrings")
+    out = a.trim()
+    live = out.live_states()
+    if live:
+        out.starts = set(live)
+        out.finals = set(live)
+    return out
+
+
+def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
+    """The universal left quotient ``{w | ∀u ∈ L(prefixes): u·w ∈ L(language)}``.
+
+    This is the *sound* semantics for a constant left operand in a
+    concatenation constraint (see DESIGN.md): every string of the
+    constant must lead into the target language.  If ``prefixes`` is
+    empty the condition is vacuous and the result is ``Σ*``.
+
+    Construction: determinize ``language``; collect the set ``S`` of
+    DFA states reachable from its start on some string of
+    ``prefixes`` (via a product walk); then run the DFA from all of
+    ``S`` simultaneously, accepting when *every* track accepts.
+    """
+    stats.count_operation("left_quotient")
+    if prefixes.is_empty():
+        return Nfa.universal(language.alphabet)
+    dfa = determinize(language)
+
+    # S = DFA states reachable on strings of `prefixes`.
+    seeds: set[int] = set()
+    seen: set[tuple[int, int]] = set()
+    stack: list[tuple[int, int]] = [
+        (p, dfa.start) for p in prefixes.epsilon_closure(prefixes.starts)
+    ]
+    seen.update(stack)
+    while stack:
+        p, d = stack.pop()
+        stats.visit_states(1)
+        if p in prefixes.finals:
+            seeds.add(d)
+        for edge in prefixes.out_edges(p):
+            if edge.is_epsilon:
+                nxt = (edge.dst, d)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+            else:
+                for label, dst in dfa.transitions[d]:
+                    step_label = edge.label & label
+                    if not step_label.is_empty():
+                        nxt = (edge.dst, dst)
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            stack.append(nxt)
+
+    # Universal run of the DFA from all seed states at once.
+    out = Nfa(language.alphabet)
+    ids: dict[frozenset[int], int] = {}
+    worklist: list[frozenset[int]] = []
+
+    def intern(subset: frozenset[int]) -> int:
+        if subset not in ids:
+            ids[subset] = out.add_state()
+            worklist.append(subset)
+        return ids[subset]
+
+    start = frozenset(seeds)
+    intern(start)
+    out.starts = {ids[start]}
+    while worklist:
+        subset = worklist.pop()
+        src = ids[subset]
+        stats.visit_states(1)
+        if subset and all(d in dfa.finals for d in subset):
+            out.finals.add(src)
+        labels = [label for d in subset for label, _ in dfa.transitions[d]]
+        for block in minterms(labels):
+            rep = block.min_char()
+            target = frozenset(dfa.delta(d, rep) for d in subset)
+            out.add_transition(src, block, intern(target))
+    return out
+
+
+def right_quotient(language: Nfa, suffixes: Nfa) -> Nfa:
+    """The universal right quotient ``{w | ∀u ∈ L(suffixes): w·u ∈ L(language)}``."""
+    stats.count_operation("right_quotient")
+    return reverse(left_quotient(reverse(suffixes), reverse(language)))

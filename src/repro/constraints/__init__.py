@@ -1,0 +1,22 @@
+"""Constraint model: terms, the text DSL, and dependency graphs."""
+
+from .depgraph import ConcatPair, DepGraph, Node, SubsetEdge, build_graph
+from .dsl import DslError, format_problem, parse_problem
+from .terms import ConcatTerm, Const, Problem, Subset, Term, Var
+
+__all__ = [
+    "Var",
+    "Const",
+    "ConcatTerm",
+    "Term",
+    "Subset",
+    "Problem",
+    "Node",
+    "SubsetEdge",
+    "ConcatPair",
+    "DepGraph",
+    "build_graph",
+    "DslError",
+    "parse_problem",
+    "format_problem",
+]

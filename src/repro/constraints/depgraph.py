@@ -1,0 +1,299 @@
+"""Dependency-graph generation (paper Fig. 5).
+
+Each unique variable or constant gets one vertex; every concatenation
+gets a *fresh* temporary vertex ``t`` holding its intermediate result.
+Edges come in two kinds:
+
+* ``SubsetEdge(c, n)`` — written ``c →⊆ n`` — requires ``⟦n⟧ ⊆ ⟦c⟧``;
+  the source is always a constant vertex.
+* ``ConcatPair(l, r, t)`` — the ``→·`` edge pair — constrains ``⟦t⟧``
+  by ``⟦l⟧ · ⟦r⟧``.
+
+The graph is *descriptive*, not a dataflow ordering: constraint
+information flows backwards through concatenations (paper Sec. 3.4.1's
+``nid_5`` remark), which is exactly what the CI algorithm implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..automata.alphabet import Alphabet
+from ..automata.nfa import Nfa
+from .terms import ConcatTerm, Const, Problem, Term, Var
+
+__all__ = ["Node", "SubsetEdge", "ConcatPair", "DepGraph", "build_graph"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A dependency-graph vertex: a variable, constant, or temporary."""
+
+    kind: str  # "var" | "const" | "temp"
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("var", "const", "temp"):
+            raise ValueError(f"bad node kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_var(self) -> bool:
+        return self.kind == "var"
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+    @property
+    def is_temp(self) -> bool:
+        return self.kind == "temp"
+
+
+@dataclass(frozen=True)
+class SubsetEdge:
+    """``source →⊆ target``: requires ⟦target⟧ ⊆ ⟦source⟧."""
+
+    source: Node  # always a constant
+    target: Node
+
+    def __str__(self) -> str:
+        return f"{self.source} →⊆ {self.target}"
+
+
+@dataclass(frozen=True)
+class ConcatPair:
+    """The ``→·`` edge pair: ⟦result⟧ is constrained by ⟦left⟧·⟦right⟧."""
+
+    left: Node
+    right: Node
+    result: Node  # always a fresh temp
+
+    def __str__(self) -> str:
+        return f"{self.left} ·l→ {self.result} ←r· {self.right}"
+
+    def operands(self) -> tuple[Node, Node]:
+        return (self.left, self.right)
+
+
+class DepGraph:
+    """The dependency graph for one RMA instance."""
+
+    def __init__(self, alphabet: Alphabet):
+        self.alphabet = alphabet
+        self.nodes: set[Node] = set()
+        self.subset_edges: list[SubsetEdge] = []
+        self.concat_pairs: list[ConcatPair] = []
+        self.const_machines: dict[str, Nfa] = {}
+        self._temp_counter = 0
+
+    # -- construction -------------------------------------------------
+
+    def var_node(self, name: str) -> Node:
+        node = Node("var", name)
+        self.nodes.add(node)
+        return node
+
+    def const_node(self, const: Const) -> Node:
+        node = Node("const", const.name)
+        self.nodes.add(node)
+        self.const_machines.setdefault(const.name, const.machine)
+        return node
+
+    def fresh_temp(self) -> Node:
+        self._temp_counter += 1
+        node = Node("temp", f"t{self._temp_counter}")
+        self.nodes.add(node)
+        return node
+
+    def add_subset(self, source: Node, target: Node) -> None:
+        if not source.is_const:
+            raise ValueError("subset edge source must be a constant")
+        self.subset_edges.append(SubsetEdge(source, target))
+
+    def add_concat(self, left: Node, right: Node) -> Node:
+        result = self.fresh_temp()
+        self.concat_pairs.append(ConcatPair(left, right, result))
+        return result
+
+    # -- queries --------------------------------------------------------
+
+    def machine(self, node: Node) -> Nfa:
+        """The constant's machine (constants only)."""
+        if not node.is_const:
+            raise ValueError(f"{node} is not a constant")
+        return self.const_machines[node.name]
+
+    def inbound_subsets(self, node: Node) -> list[Node]:
+        """Constant vertices constraining ``node`` from above."""
+        return [e.source for e in self.subset_edges if e.target == node]
+
+    def concat_of(self, temp: Node) -> Optional[ConcatPair]:
+        """The concat pair producing ``temp`` (temps have exactly one)."""
+        for pair in self.concat_pairs:
+            if pair.result == temp:
+                return pair
+        return None
+
+    def concats_using(self, node: Node) -> list[ConcatPair]:
+        """Concat pairs in which ``node`` is an operand."""
+        return [
+            pair
+            for pair in self.concat_pairs
+            if node in (pair.left, pair.right)
+        ]
+
+    def in_some_concat(self, node: Node) -> bool:
+        return any(
+            node in (pair.left, pair.right, pair.result)
+            for pair in self.concat_pairs
+        )
+
+    def var_nodes(self) -> list[Node]:
+        return sorted((n for n in self.nodes if n.is_var), key=lambda n: n.name)
+
+    def ci_groups(self) -> list[set[Node]]:
+        """Connected components of the ``→·`` edges (paper Sec. 3.4.3).
+
+        Every returned group contains at least one concatenation; nodes
+        with only subset constraints are not in any group.
+        """
+        parent: dict[Node, Node] = {}
+
+        def find(node: Node) -> Node:
+            root = node
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(node, node) != node:
+                parent[node], node = root, parent[node]
+            return root
+
+        def join(a: Node, b: Node) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for pair in self.concat_pairs:
+            parent.setdefault(pair.left, pair.left)
+            parent.setdefault(pair.right, pair.right)
+            parent.setdefault(pair.result, pair.result)
+            join(pair.left, pair.result)
+            join(pair.right, pair.result)
+
+        groups: dict[Node, set[Node]] = {}
+        for node in parent:
+            groups.setdefault(find(node), set()).add(node)
+        return sorted(groups.values(), key=lambda g: min(n.name for n in g))
+
+    def group_temps_in_order(self, group: Iterable[Node]) -> list[Node]:
+        """Temps of a CI-group, operands before results (topological)."""
+        group_set = set(group)
+        temps = [n for n in group_set if n.is_temp]
+        deps: dict[Node, set[Node]] = {}
+        for temp in temps:
+            pair = self.concat_of(temp)
+            if pair is None:
+                raise ValueError(f"temp {temp} has no defining concat")
+            deps[temp] = {op for op in pair.operands() if op.is_temp}
+        ordered: list[Node] = []
+        ready = sorted((t for t in temps if not deps[t]), key=lambda n: n.name)
+        remaining = {t: set(d) for t, d in deps.items() if d}
+        while ready:
+            node = ready.pop(0)
+            ordered.append(node)
+            newly_ready = []
+            for temp, pending in list(remaining.items()):
+                pending.discard(node)
+                if not pending:
+                    del remaining[temp]
+                    newly_ready.append(temp)
+            ready.extend(sorted(newly_ready, key=lambda n: n.name))
+        if remaining:
+            raise ValueError("cycle among concatenation temporaries")
+        return ordered
+
+    def top_temps(self, group: Iterable[Node]) -> list[Node]:
+        """Non-influenced temps: results not used as operands (Sec. 3.4.3)."""
+        group_set = set(group)
+        used_as_operand = {
+            op
+            for pair in self.concat_pairs
+            for op in pair.operands()
+        }
+        return sorted(
+            (
+                n
+                for n in group_set
+                if n.is_temp and n not in used_as_operand
+            ),
+            key=lambda n: n.name,
+        )
+
+    def __str__(self) -> str:
+        lines = [f"nodes: {', '.join(sorted(str(n) for n in self.nodes))}"]
+        lines += [f"  {e}" for e in self.subset_edges]
+        lines += [f"  {p}" for p in self.concat_pairs]
+        return "\n".join(lines)
+
+    def to_dot(self, name: str = "depgraph") -> str:
+        """Graphviz rendering in the style of paper Fig. 6.
+
+        Constants are boxes, variables circles, temporaries diamonds;
+        ⊆-edges are dashed and ·-edge pairs are solid, labelled with
+        their operand side.
+        """
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        shapes = {"const": "box", "var": "circle", "temp": "diamond"}
+        for node in sorted(self.nodes, key=lambda n: (n.kind, n.name)):
+            lines.append(
+                f'  "{node.name}" [shape={shapes[node.kind]}, '
+                f'label="{node.name}"];'
+            )
+        for edge in self.subset_edges:
+            lines.append(
+                f'  "{edge.source.name}" -> "{edge.target.name}" '
+                '[style=dashed, label="⊆"];'
+            )
+        for pair in self.concat_pairs:
+            lines.append(
+                f'  "{pair.left.name}" -> "{pair.result.name}" [label="·l"];'
+            )
+            lines.append(
+                f'  "{pair.right.name}" -> "{pair.result.name}" [label="·r"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_graph(problem: Problem) -> tuple[DepGraph, dict[str, Node]]:
+    """Run the Fig. 5 collecting semantics over every constraint.
+
+    Returns the graph and the map from variable names to their vertices.
+    """
+    graph = DepGraph(problem.alphabet)
+    var_nodes: dict[str, Node] = {}
+
+    def visit(term: Term) -> Node:
+        if isinstance(term, Var):
+            node = graph.var_node(term.name)
+            var_nodes[term.name] = node
+            return node
+        if isinstance(term, Const):
+            return graph.const_node(term)
+        if isinstance(term, ConcatTerm):
+            # Left-associative fold; each binary step mints a fresh temp
+            # (the rule for E → E . E in Fig. 5).
+            current = visit(term.parts[0])
+            for part in term.parts[1:]:
+                current = graph.add_concat(current, visit(part))
+            return current
+        raise TypeError(f"unknown term {term!r}")
+
+    for constraint in problem.constraints:
+        target = visit(constraint.lhs)
+        source = graph.const_node(constraint.rhs)
+        graph.add_subset(source, target)
+    return graph, var_nodes

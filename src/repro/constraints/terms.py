@@ -1,0 +1,203 @@
+"""The constraint language of paper Fig. 2.
+
+    S ::= E ⊆ C        subset constraint
+    E ::= E . E        language concatenation
+        | C | V
+    C ::= c1 | ... | cn   constants (regular languages)
+    V ::= v1 | ... | vm   variables (regular languages)
+
+An RMA problem instance is a set of subset constraints over shared
+variables; see :class:`Problem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.nfa import Nfa
+from ..regex import parse_exact, to_nfa
+
+__all__ = ["Var", "Const", "ConcatTerm", "Term", "Subset", "Problem"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A regular-language variable (``V`` in Fig. 2)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def concat(self, other: "Term") -> "ConcatTerm":
+        return _concat(self, other)
+
+
+class Const:
+    """A named constant regular language (``C`` in Fig. 2).
+
+    Identity is by name: the dependency graph creates one vertex per
+    unique constant name, mirroring the paper's ``node`` function.  The
+    ``source`` field remembers the concrete syntax (regex or literal)
+    for display.
+    """
+
+    def __init__(self, name: str, machine: Nfa, source: Optional[str] = None):
+        self.name = name
+        self.machine = machine
+        self.source = source
+
+    @classmethod
+    def from_regex(
+        cls, name: str, pattern: str, alphabet: Alphabet = BYTE_ALPHABET
+    ) -> "Const":
+        """Constant denoted by a language-level regex (no anchors)."""
+        machine = to_nfa(parse_exact(pattern, alphabet), alphabet)
+        return cls(name, machine, source=f"/{pattern}/")
+
+    @classmethod
+    def from_literal(
+        cls, name: str, text: str, alphabet: Alphabet = BYTE_ALPHABET
+    ) -> "Const":
+        """Constant containing exactly one string."""
+        return cls(name, Nfa.literal(text, alphabet), source=repr(text))
+
+    def concat(self, other: "Term") -> "ConcatTerm":
+        return _concat(self, other)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Const({self.name}, {self.source or '<machine>'})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("const", self.name))
+
+
+@dataclass(frozen=True)
+class ConcatTerm:
+    """Concatenation of two or more operands (``E . E``)."""
+
+    parts: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("ConcatTerm requires at least two operands")
+
+    def concat(self, other: "Term") -> "ConcatTerm":
+        return _concat(self, other)
+
+    def __str__(self) -> str:
+        return " . ".join(str(p) for p in self.parts)
+
+
+Term = Union[Var, Const, ConcatTerm]
+
+
+def _concat(left: Term, right: Term) -> ConcatTerm:
+    left_parts = left.parts if isinstance(left, ConcatTerm) else (left,)
+    right_parts = right.parts if isinstance(right, ConcatTerm) else (right,)
+    return ConcatTerm(left_parts + right_parts)
+
+
+@dataclass(frozen=True)
+class Subset:
+    """A single constraint ``lhs ⊆ rhs`` with a constant right-hand side."""
+
+    lhs: Term
+    rhs: Const
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ⊆ {self.rhs}"
+
+    def variables(self) -> Iterator[Var]:
+        yield from _variables(self.lhs)
+
+    def constants(self) -> Iterator[Const]:
+        yield from _constants(self.lhs)
+        yield self.rhs
+
+
+def _variables(term: Term) -> Iterator[Var]:
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, ConcatTerm):
+        for part in term.parts:
+            yield from _variables(part)
+
+
+def _constants(term: Term) -> Iterator[Const]:
+    if isinstance(term, Const):
+        yield term
+    elif isinstance(term, ConcatTerm):
+        for part in term.parts:
+            yield from _constants(part)
+
+
+class Problem:
+    """An RMA problem instance: constraints over shared variables.
+
+    >>> v1 = Var("v1")
+    >>> c1 = Const.from_regex("c1", "[0-9]+")
+    >>> problem = Problem([Subset(v1, c1)])
+    """
+
+    def __init__(
+        self,
+        constraints: list[Subset],
+        alphabet: Alphabet = BYTE_ALPHABET,
+    ):
+        if not constraints:
+            raise ValueError("an RMA instance needs at least one constraint")
+        self.constraints = list(constraints)
+        self.alphabet = alphabet
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: dict[str, Const] = {}
+        for constraint in self.constraints:
+            for const in constraint.constants():
+                if const.machine.alphabet != self.alphabet:
+                    raise ValueError(
+                        f"constant {const.name} uses a different alphabet"
+                    )
+                previous = seen.get(const.name)
+                if previous is not None and previous is not const:
+                    if previous.machine is not const.machine:
+                        raise ValueError(
+                            f"two distinct constants share the name {const.name!r}"
+                        )
+                seen[const.name] = const
+
+    def variables(self) -> list[Var]:
+        """All variables, in first-occurrence order."""
+        out: list[Var] = []
+        seen: set[str] = set()
+        for constraint in self.constraints:
+            for var in constraint.variables():
+                if var.name not in seen:
+                    seen.add(var.name)
+                    out.append(var)
+        return out
+
+    def constants(self) -> list[Const]:
+        out: list[Const] = []
+        seen: set[str] = set()
+        for constraint in self.constraints:
+            for const in constraint.constants():
+                if const.name not in seen:
+                    seen.add(const.name)
+                    out.append(const)
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)

@@ -1,0 +1,21 @@
+"""Mini-PHP front end: lexing, parsing, CFGs, symbolic execution."""
+
+from .ast import Program
+from .cfg import BasicBlock, Cfg, build_cfg
+from .lexer import PhpSyntaxError, tokenize
+from .parser import parse_php
+from .symexec import DEFAULT_SINKS, SANITIZERS, SinkQuery, SymbolicExecutor
+
+__all__ = [
+    "Program",
+    "tokenize",
+    "parse_php",
+    "PhpSyntaxError",
+    "Cfg",
+    "BasicBlock",
+    "build_cfg",
+    "SymbolicExecutor",
+    "SinkQuery",
+    "DEFAULT_SINKS",
+    "SANITIZERS",
+]

@@ -1,0 +1,223 @@
+"""AST for the mini-PHP subset the evaluation analyses.
+
+The paper's prototype consumes PHP web applications; we reproduce the
+fragment its constraint generation actually exercises (cf. Fig. 1):
+assignments, string concatenation and interpolation, ``preg_match``
+filters, equality checks, branches, ``exit``, and sink calls such as
+``query(...)``.
+
+Every node carries the 1-based source line for diagnostics and for
+mapping vulnerabilities back to code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    # expressions
+    "Expr",
+    "StringLit",
+    "VarRef",
+    "InputRef",
+    "Interp",
+    "ConcatExpr",
+    "Call",
+    "BoolLit",
+    "Compare",
+    "Not",
+    "BoolOp",
+    "PregMatch",
+    "Ternary",
+    # statements
+    "Stmt",
+    "Assign",
+    "If",
+    "While",
+    "ExprStmt",
+    "Exit",
+    "Echo",
+    "Block",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    """A string literal (interpolation already desugared away)."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """``$name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class InputRef(Expr):
+    """``$_GET['key']`` or ``$_POST['key']`` — an untrusted input."""
+
+    source: str  # "GET" | "POST" | "REQUEST" | "COOKIE"
+    key: str
+
+    @property
+    def input_name(self) -> str:
+        """The solver-variable name for this input."""
+        return f"{self.source.lower()}_{self.key}"
+
+
+@dataclass(frozen=True)
+class Interp(Expr):
+    """A double-quoted string with ``$var`` interpolation, pre-desugar.
+
+    The parser emits :class:`ConcatExpr` directly; this node only
+    appears if a client builds ASTs by hand and wants the sugar.
+    """
+
+    parts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ConcatExpr(Expr):
+    """String concatenation (PHP's ``.`` operator), flattened."""
+
+    parts: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("ConcatExpr requires at least two parts")
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call; ``query(...)`` is the canonical sink."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """String equality / inequality: ``==``, ``===``, ``!=``, ``!==``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """``&&`` / ``||`` with PHP's short-circuit semantics."""
+
+    op: str  # "and" | "or"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class PregMatch(Expr):
+    """``preg_match('/re/', subject)`` — the paper's filter primitive."""
+
+    pattern: str  # delimited pattern text, e.g. "/[\\d]+$/"
+    subject: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """``cond ? then : otherwise``.
+
+    Assignments of ternaries are lowered to if/else during CFG
+    construction, keeping symbolic execution path-sensitive; in other
+    positions the value is havocked.
+    """
+
+    condition: Expr
+    then_value: Expr
+    else_value: Expr
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``$target = value;`` (or ``.=`` desugared by the parser)."""
+
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: "Block"
+    else_body: Optional["Block"] = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while (cond) { ... }``.
+
+    Lowered by bounded unrolling during CFG construction: paths taking
+    at most ``loop_unroll`` iterations are explored exactly (their
+    exploit witnesses are genuine); longer executions are not explored,
+    which is the usual under-approximation for testcase generation.
+    """
+
+    condition: Expr
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (typically a call)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Exit(Stmt):
+    """``exit;`` / ``die;`` — terminates the path."""
+
+
+@dataclass(frozen=True)
+class Echo(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    statements: Tuple[Stmt, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed PHP file."""
+
+    body: Block
+    source_name: str = "<script>"

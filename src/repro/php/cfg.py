@@ -1,0 +1,189 @@
+"""Control-flow graphs for mini-PHP programs.
+
+Fig. 12 of the paper reports ``|FG|``, the number of basic blocks per
+analysed file; this module provides the same measurement plus the path
+enumeration the symbolic executor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .ast import (
+    Assign,
+    Block,
+    Echo,
+    Exit,
+    Expr,
+    ExprStmt,
+    If,
+    Program,
+    Stmt,
+    Ternary,
+    While,
+)
+
+__all__ = ["BasicBlock", "Cfg", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of statements.
+
+    A block ends either in a branch (``condition`` set, with
+    ``true_successor`` / ``false_successor``), a fall-through edge
+    (``true_successor`` only), or nothing (terminal: exit or program
+    end).
+    """
+
+    block_id: int
+    statements: list[Stmt] = field(default_factory=list)
+    condition: Optional[Expr] = None
+    true_successor: Optional[int] = None
+    false_successor: Optional[int] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.true_successor is None and self.false_successor is None
+
+    def successors(self) -> list[int]:
+        out = []
+        if self.true_successor is not None:
+            out.append(self.true_successor)
+        if self.false_successor is not None:
+            out.append(self.false_successor)
+        return out
+
+
+class Cfg:
+    """A program's control-flow graph."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry: int = 0
+        #: While-loop unrolling bound used during construction.
+        self.loop_unroll: int = 2
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    @property
+    def num_blocks(self) -> int:
+        """The paper's ``|FG|`` for this file."""
+        return len(self.blocks)
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def paths(self, max_paths: int = 4096) -> Iterator[list[int]]:
+        """All acyclic entry-to-terminal block paths (DFS order).
+
+        The mini-PHP subset has no loops, so the graph is a DAG and the
+        enumeration terminates; ``max_paths`` guards against
+        combinatorial blowup in branch-heavy files.
+        """
+        emitted = 0
+        stack: list[tuple[int, list[int]]] = [(self.entry, [self.entry])]
+        while stack:
+            block_id, path = stack.pop()
+            block = self.blocks[block_id]
+            successors = block.successors()
+            if not successors:
+                yield path
+                emitted += 1
+                if emitted >= max_paths:
+                    return
+                continue
+            for successor in reversed(successors):
+                if successor in path:
+                    raise ValueError("cycle in CFG; loops are not supported")
+                stack.append((successor, path + [successor]))
+
+    def __repr__(self) -> str:
+        return f"<Cfg blocks={self.num_blocks}>"
+
+
+def build_cfg(program: Program, loop_unroll: int = 2) -> Cfg:
+    """Construct the CFG of a parsed program.
+
+    ``loop_unroll`` bounds how many iterations of each ``while`` loop
+    are represented (see :class:`repro.php.ast.While`).
+    """
+    cfg = Cfg()
+    cfg.loop_unroll = loop_unroll
+    entry = cfg.new_block()
+    cfg.entry = entry.block_id
+    final = _lower_block(cfg, program.body, entry)
+    # `final` is the open block at program end; it is terminal.
+    del final
+    return cfg
+
+
+def _lower_block(cfg: Cfg, block: Block, current: BasicBlock) -> Optional[BasicBlock]:
+    """Lower statements into ``current``; returns the open successor
+    block, or None if control definitely exits."""
+    for statement in block.statements:
+        if current is None:
+            # Unreachable code after exit: keep measuring blocks the
+            # way a flow-graph builder would (a fresh, unentered block).
+            current = cfg.new_block()
+        current = _lower_statement(cfg, statement, current)
+    return current
+
+
+def _lower_statement(
+    cfg: Cfg, statement: Stmt, current: BasicBlock
+) -> Optional[BasicBlock]:
+    if isinstance(statement, Assign) and isinstance(statement.value, Ternary):
+        # $x = c ? a : b  lowers to  if (c) { $x = a; } else { $x = b; }
+        # so symbolic execution stays path-sensitive over ternaries.
+        ternary = statement.value
+        lowered = If(
+            statement.line,
+            ternary.condition,
+            Block(statement.line, (Assign(statement.line, statement.target, ternary.then_value),)),
+            Block(statement.line, (Assign(statement.line, statement.target, ternary.else_value),)),
+        )
+        return _lower_statement(cfg, lowered, current)
+    if isinstance(statement, (Assign, ExprStmt, Echo)):
+        current.statements.append(statement)
+        return current
+    if isinstance(statement, Exit):
+        current.statements.append(statement)
+        return None
+    if isinstance(statement, If):
+        current.condition = statement.condition
+        then_entry = cfg.new_block()
+        current.true_successor = then_entry.block_id
+        then_exit = _lower_block(cfg, statement.then_body, then_entry)
+        if statement.else_body is not None:
+            else_entry = cfg.new_block()
+            current.false_successor = else_entry.block_id
+            else_exit = _lower_block(cfg, statement.else_body, else_entry)
+        else:
+            else_exit = None
+        join = cfg.new_block()
+        if statement.else_body is None:
+            current.false_successor = join.block_id
+        if then_exit is not None:
+            then_exit.true_successor = join.block_id
+        if else_exit is not None:
+            else_exit.true_successor = join.block_id
+        return join
+    if isinstance(statement, While):
+        return _lower_statement(cfg, _unroll(statement, cfg.loop_unroll), current)
+    if isinstance(statement, Block):
+        return _lower_block(cfg, statement, current)
+    raise TypeError(f"unknown statement {type(statement).__name__}")
+
+
+def _unroll(loop: While, depth: int) -> Stmt:
+    """Bounded unrolling: k nested ifs, each guarding one iteration."""
+    if depth <= 0:
+        return Block(loop.line, ())
+    inner = _unroll(loop, depth - 1)
+    body = Block(loop.body.line, loop.body.statements + (inner,))
+    return If(loop.line, loop.condition, body, None)

@@ -1,0 +1,168 @@
+"""Lexer for the mini-PHP subset.
+
+Hand-rolled, line-tracking, with PHP's two string syntaxes: single
+quotes (no interpolation, ``\\'`` and ``\\\\`` escapes) and double
+quotes (``$name`` interpolation, resolved later by the parser — the
+lexer records the raw text plus a flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhpSyntaxError", "Token", "tokenize"]
+
+
+class PhpSyntaxError(ValueError):
+    """A lexical or syntactic error, with the offending line number."""
+
+    def __init__(self, line: int, message: str):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # ident, variable, string, dstring, int, punct, end
+    value: str
+    line: int
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == "punct" and self.value == value
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "ident" and self.value.lower() == word
+
+
+_TWO_CHAR = {"==", "!=", "&&", "||", ".=", "=>"}
+_THREE_CHAR = {"===", "!=="}
+_SINGLE = set("(){}[];,.!=&|<>+-*/?:")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize one PHP file (``<?php`` tags optional)."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(text)
+
+    while pos < length:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if text.startswith("<?php", pos):
+            pos += 5
+            continue
+        if text.startswith("<?", pos):
+            pos += 2
+            continue
+        if text.startswith("?>", pos):
+            pos += 2
+            continue
+        if text.startswith("//", pos) or ch == "#":
+            while pos < length and text[pos] != "\n":
+                pos += 1
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end < 0:
+                raise PhpSyntaxError(line, "unterminated block comment")
+            line += text.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch == "$":
+            end = pos + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == pos + 1:
+                raise PhpSyntaxError(line, "lone '$'")
+            tokens.append(Token("variable", text[pos + 1 : end], line))
+            pos = end
+            continue
+        if ch == "'":
+            value, pos, line = _scan_string(text, pos, line, quote="'")
+            tokens.append(Token("string", value, line))
+            continue
+        if ch == '"':
+            raw, pos, line = _scan_raw_dstring(text, pos, line)
+            tokens.append(Token("dstring", raw, line))
+            continue
+        if ch.isdigit():
+            end = pos
+            while end < length and text[end].isdigit():
+                end += 1
+            tokens.append(Token("int", text[pos:end], line))
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            tokens.append(Token("ident", text[pos:end], line))
+            pos = end
+            continue
+        three = text[pos : pos + 3]
+        if three in _THREE_CHAR:
+            tokens.append(Token("punct", three, line))
+            pos += 3
+            continue
+        two = text[pos : pos + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("punct", two, line))
+            pos += 2
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token("punct", ch, line))
+            pos += 1
+            continue
+        raise PhpSyntaxError(line, f"unexpected character {ch!r}")
+
+    tokens.append(Token("end", "", line))
+    return tokens
+
+
+def _scan_string(
+    text: str, pos: int, line: int, quote: str
+) -> tuple[str, int, int]:
+    """Single-quoted string: only ``\\'`` and ``\\\\`` are escapes."""
+    out: list[str] = []
+    cursor = pos + 1
+    while cursor < len(text):
+        ch = text[cursor]
+        if ch == quote:
+            return "".join(out), cursor + 1, line
+        if ch == "\\" and cursor + 1 < len(text) and text[cursor + 1] in (quote, "\\"):
+            out.append(text[cursor + 1])
+            cursor += 2
+            continue
+        if ch == "\n":
+            line += 1
+        out.append(ch)
+        cursor += 1
+    raise PhpSyntaxError(line, "unterminated string literal")
+
+
+def _scan_raw_dstring(text: str, pos: int, line: int) -> tuple[str, int, int]:
+    """Double-quoted string: capture raw contents, escapes intact.
+
+    Interpolation (``$var``) is resolved by the parser, which needs the
+    raw text.
+    """
+    cursor = pos + 1
+    start = cursor
+    while cursor < len(text):
+        ch = text[cursor]
+        if ch == '"':
+            return text[start:cursor], cursor + 1, line
+        if ch == "\\" and cursor + 1 < len(text):
+            cursor += 2
+            continue
+        if ch == "\n":
+            line += 1
+        cursor += 1
+    raise PhpSyntaxError(line, "unterminated string literal")

@@ -1,0 +1,454 @@
+"""Recursive-descent parser for the mini-PHP subset.
+
+Two desugarings happen here so later stages never see them:
+
+* double-quoted interpolation — ``"nid_$newsid"`` becomes a
+  :class:`~repro.php.ast.ConcatExpr` of literals and variable refs;
+* ``.=`` compound assignment — ``$q .= $x`` becomes
+  ``$q = $q . $x``.
+
+``$_GET['k']`` / ``$_POST['k']`` / ``$_REQUEST['k']`` / ``$_COOKIE['k']``
+index expressions become :class:`~repro.php.ast.InputRef` nodes, the
+untrusted inputs the analysis solves for.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Assign,
+    Block,
+    BoolLit,
+    BoolOp,
+    Call,
+    Compare,
+    ConcatExpr,
+    Echo,
+    Exit,
+    Expr,
+    ExprStmt,
+    If,
+    InputRef,
+    Not,
+    PregMatch,
+    Program,
+    Stmt,
+    StringLit,
+    Ternary,
+    VarRef,
+    While,
+)
+from .lexer import PhpSyntaxError, Token, tokenize
+
+__all__ = ["parse_php", "PhpSyntaxError"]
+
+_INPUT_ARRAYS = {
+    "_GET": "GET",
+    "_POST": "POST",
+    "_REQUEST": "REQUEST",
+    "_COOKIE": "COOKIE",
+}
+
+
+def parse_php(text: str, source_name: str = "<script>") -> Program:
+    """Parse one PHP file into a :class:`~repro.php.ast.Program`."""
+    return _Parser(tokenize(text)).parse_program(source_name)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def take(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "end":
+            self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.take()
+        if not token.is_punct(value):
+            raise PhpSyntaxError(
+                token.line, f"expected {value!r}, found {token.value!r}"
+            )
+        return token
+
+    def error(self, message: str) -> PhpSyntaxError:
+        return PhpSyntaxError(self.peek().line, message)
+
+    # -- statements ------------------------------------------------------
+
+    def parse_program(self, source_name: str) -> Program:
+        statements: list[Stmt] = []
+        first_line = self.peek().line
+        while self.peek().kind != "end":
+            statements.append(self.parse_statement())
+        return Program(Block(first_line, tuple(statements)), source_name)
+
+    def parse_statement(self) -> Stmt:
+        token = self.peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("switch"):
+            return self.parse_switch()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.is_keyword("exit") or token.is_keyword("die"):
+            return self.parse_exit()
+        if token.is_keyword("echo") or token.is_keyword("print"):
+            return self.parse_echo()
+        if token.kind == "variable" and token.value not in _INPUT_ARRAYS:
+            nxt = self.peek(1)
+            if nxt.is_punct("=") or nxt.is_punct(".="):
+                return self.parse_assign()
+        expr = self.parse_expr()
+        self.expect_punct(";")
+        return ExprStmt(expr.line, expr)
+
+    def parse_block(self) -> Block:
+        open_token = self.expect_punct("{")
+        statements: list[Stmt] = []
+        while not self.peek().is_punct("}"):
+            if self.peek().kind == "end":
+                raise self.error("unterminated block")
+            statements.append(self.parse_statement())
+        self.expect_punct("}")
+        return Block(open_token.line, tuple(statements))
+
+    def parse_body(self) -> Block:
+        """A brace block, or a single statement promoted to a block."""
+        if self.peek().is_punct("{"):
+            return self.parse_block()
+        statement = self.parse_statement()
+        return Block(statement.line, (statement,))
+
+    def parse_if(self) -> If:
+        if_token = self.take()
+        self.expect_punct("(")
+        condition = self.parse_expr()
+        self.expect_punct(")")
+        then_body = self.parse_body()
+        else_body = None
+        nxt = self.peek()
+        if nxt.is_keyword("elseif"):
+            # elseif desugars to else { if ... }.
+            nested = self.parse_if_from_elseif()
+            else_body = Block(nested.line, (nested,))
+        elif nxt.is_keyword("else"):
+            self.take()
+            if self.peek().is_keyword("if"):
+                nested = self.parse_if()
+                else_body = Block(nested.line, (nested,))
+            else:
+                else_body = self.parse_body()
+        return If(if_token.line, condition, then_body, else_body)
+
+    def parse_if_from_elseif(self) -> If:
+        token = self.take()  # 'elseif'
+        self.expect_punct("(")
+        condition = self.parse_expr()
+        self.expect_punct(")")
+        then_body = self.parse_body()
+        else_body = None
+        nxt = self.peek()
+        if nxt.is_keyword("elseif"):
+            nested = self.parse_if_from_elseif()
+            else_body = Block(nested.line, (nested,))
+        elif nxt.is_keyword("else"):
+            self.take()
+            else_body = self.parse_body()
+        return If(token.line, condition, then_body, else_body)
+
+    def parse_switch(self) -> Stmt:
+        """``switch`` desugars into an if/elseif chain.
+
+        Fall-through is honoured: a case body without ``break`` also
+        executes the following case's (already fall-through-expanded)
+        body.  ``break`` inside a case body is consumed; loops are not
+        supported, so there is nothing else for it to mean.
+        """
+        switch_token = self.take()
+        self.expect_punct("(")
+        subject = self.parse_expr()
+        self.expect_punct(")")
+        self.expect_punct("{")
+
+        arms: list[tuple[Expr | None, list[Stmt], bool]] = []
+        while not self.peek().is_punct("}"):
+            token = self.peek()
+            if token.is_keyword("case"):
+                self.take()
+                guard = self.parse_expr()
+                self.expect_punct(":")
+                body, broke = self.parse_case_body()
+                arms.append((guard, body, broke))
+            elif token.is_keyword("default"):
+                self.take()
+                self.expect_punct(":")
+                body, broke = self.parse_case_body()
+                arms.append((None, body, broke))
+            else:
+                raise PhpSyntaxError(token.line, "expected 'case' or 'default'")
+        self.expect_punct("}")
+
+        # Expand fall-through back to front, then chain the conditions.
+        expanded: list[tuple[Expr | None, list[Stmt]]] = []
+        carried: list[Stmt] = []
+        for guard, body, broke in reversed(arms):
+            carried = body + ([] if broke else carried)
+            expanded.append((guard, carried))
+        expanded.reverse()
+
+        chain: Stmt | None = None
+        for guard, body in reversed(expanded):
+            block = Block(switch_token.line, tuple(body))
+            if guard is None:
+                # `default` acts as the final else (it is expected last;
+                # an earlier default still catches every non-match).
+                chain = block
+                continue
+            condition = Compare(switch_token.line, "==", subject, guard)
+            else_body = None
+            if chain is not None:
+                if isinstance(chain, Block):
+                    else_body = chain
+                else:
+                    else_body = Block(chain.line, (chain,))
+            chain = If(switch_token.line, condition, block, else_body)
+        return chain if chain is not None else Block(switch_token.line, ())
+
+    def parse_case_body(self) -> tuple[list[Stmt], bool]:
+        """Statements of one case arm; True if it ended with ``break``."""
+        statements: list[Stmt] = []
+        while True:
+            token = self.peek()
+            if (
+                token.is_keyword("case")
+                or token.is_keyword("default")
+                or token.is_punct("}")
+                or token.kind == "end"
+            ):
+                return statements, False
+            if token.is_keyword("break"):
+                self.take()
+                self.expect_punct(";")
+                return statements, True
+            statements.append(self.parse_statement())
+
+    def parse_while(self) -> While:
+        token = self.take()
+        self.expect_punct("(")
+        condition = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_body()
+        return While(token.line, condition, body)
+
+    def parse_exit(self) -> Exit:
+        token = self.take()
+        if self.peek().is_punct("("):
+            self.take()
+            if not self.peek().is_punct(")"):
+                self.parse_expr()  # exit message: evaluated, ignored
+            self.expect_punct(")")
+        self.expect_punct(";")
+        return Exit(token.line)
+
+    def parse_echo(self) -> Echo:
+        token = self.take()
+        value = self.parse_expr()
+        while self.peek().is_punct(","):
+            self.take()
+            extra = self.parse_expr()
+            value = ConcatExpr(token.line, _concat_parts(value) + _concat_parts(extra))
+        self.expect_punct(";")
+        return Echo(token.line, value)
+
+    def parse_assign(self) -> Assign:
+        target = self.take()
+        op = self.take()
+        value = self.parse_expr()
+        self.expect_punct(";")
+        if op.is_punct(".="):
+            previous = VarRef(target.line, target.value)
+            value = ConcatExpr(
+                target.line, _concat_parts(previous) + _concat_parts(value)
+            )
+        return Assign(target.line, target.value, value)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        condition = self.parse_or()
+        if self.peek().is_punct("?"):
+            token = self.take()
+            then_value = self.parse_expr()
+            self.expect_punct(":")
+            else_value = self.parse_expr()
+            return Ternary(token.line, condition, then_value, else_value)
+        return condition
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.peek().is_punct("||"):
+            token = self.take()
+            right = self.parse_and()
+            left = BoolOp(token.line, "or", left, right)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.peek().is_punct("&&"):
+            token = self.take()
+            right = self.parse_not()
+            left = BoolOp(token.line, "and", left, right)
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.peek().is_punct("!"):
+            token = self.take()
+            return Not(token.line, self.parse_not())
+        return self.parse_compare()
+
+    def parse_compare(self) -> Expr:
+        left = self.parse_concat()
+        token = self.peek()
+        if token.kind == "punct" and token.value in ("==", "===", "!=", "!=="):
+            self.take()
+            right = self.parse_concat()
+            op = "==" if token.value in ("==", "===") else "!="
+            return Compare(token.line, op, left, right)
+        return left
+
+    def parse_concat(self) -> Expr:
+        parts = [self.parse_primary()]
+        while self.peek().is_punct("."):
+            self.take()
+            parts.append(self.parse_primary())
+        if len(parts) == 1:
+            return parts[0]
+        flattened: tuple[Expr, ...] = ()
+        for part in parts:
+            flattened += _concat_parts(part)
+        return ConcatExpr(parts[0].line, flattened)
+
+    def parse_primary(self) -> Expr:
+        token = self.take()
+        if token.kind == "string":
+            return StringLit(token.line, token.value)
+        if token.kind == "dstring":
+            return _desugar_interpolation(token)
+        if token.kind == "int":
+            return StringLit(token.line, token.value)
+        if token.kind == "variable":
+            if token.value in _INPUT_ARRAYS:
+                return self.parse_input_ref(token)
+            return VarRef(token.line, token.value)
+        if token.kind == "ident":
+            lowered = token.value.lower()
+            if lowered == "true":
+                return BoolLit(token.line, True)
+            if lowered == "false":
+                return BoolLit(token.line, False)
+            if self.peek().is_punct("("):
+                return self.parse_call(token)
+            raise PhpSyntaxError(token.line, f"unexpected identifier {token.value!r}")
+        if token.is_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        raise PhpSyntaxError(token.line, f"unexpected token {token.value!r}")
+
+    def parse_input_ref(self, token: Token) -> InputRef:
+        self.expect_punct("[")
+        key = self.take()
+        if key.kind not in ("string", "dstring"):
+            raise PhpSyntaxError(key.line, "input array index must be a string")
+        self.expect_punct("]")
+        return InputRef(token.line, _INPUT_ARRAYS[token.value], key.value)
+
+    def parse_call(self, name: Token) -> Expr:
+        self.expect_punct("(")
+        args: list[Expr] = []
+        if not self.peek().is_punct(")"):
+            args.append(self.parse_expr())
+            while self.peek().is_punct(","):
+                self.take()
+                args.append(self.parse_expr())
+        self.expect_punct(")")
+        if name.value.lower() == "preg_match":
+            if len(args) != 2:
+                raise PhpSyntaxError(name.line, "preg_match takes two arguments")
+            pattern = args[0]
+            if not isinstance(pattern, StringLit):
+                raise PhpSyntaxError(
+                    name.line, "preg_match pattern must be a string literal"
+                )
+            return PregMatch(name.line, pattern.value, args[1])
+        return Call(name.line, name.value, tuple(args))
+
+
+def _concat_parts(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, ConcatExpr):
+        return expr.parts
+    return (expr,)
+
+
+def _desugar_interpolation(token: Token) -> Expr:
+    """Turn a raw double-quoted body into literals and variable refs."""
+    raw = token.value
+    parts: list[Expr] = []
+    buffer: list[str] = []
+    pos = 0
+    length = len(raw)
+    escapes = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "$": "$"}
+
+    def flush() -> None:
+        if buffer:
+            parts.append(StringLit(token.line, "".join(buffer)))
+            buffer.clear()
+
+    while pos < length:
+        ch = raw[pos]
+        if ch == "\\" and pos + 1 < length:
+            buffer.append(escapes.get(raw[pos + 1], "\\" + raw[pos + 1]))
+            pos += 2
+            continue
+        if ch == "$" and pos + 1 < length:
+            body = raw[pos + 1 :]
+            braced = body.startswith("{")
+            if braced:
+                body = body[1:]
+            end = 0
+            while end < len(body) and (body[end].isalnum() or body[end] == "_"):
+                end += 1
+            if end == 0:
+                buffer.append(ch)
+                pos += 1
+                continue
+            name = body[:end]
+            consumed = 1 + end + (2 if braced else 0)
+            if braced:
+                if end >= len(body) or body[end] != "}":
+                    raise PhpSyntaxError(token.line, "unterminated ${...}")
+            flush()
+            if name in _INPUT_ARRAYS:
+                raise PhpSyntaxError(
+                    token.line, "superglobal interpolation is not supported"
+                )
+            parts.append(VarRef(token.line, name))
+            pos += consumed
+            continue
+        buffer.append(ch)
+        pos += 1
+    flush()
+    if not parts:
+        return StringLit(token.line, "")
+    if len(parts) == 1:
+        return parts[0]
+    return ConcatExpr(token.line, tuple(parts))

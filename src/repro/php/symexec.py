@@ -1,0 +1,466 @@
+"""Path-sensitive symbolic execution producing RMA constraints.
+
+This is the paper's "simple prototype program analysis that uses
+symbolic execution to set up a system of string variable constraints
+based on paths that lead to the defect" (Sec. 4).  For every acyclic
+CFG path reaching a sink call (``query(...)`` by default) it emits one
+:class:`SinkQuery`: the constraints collected along the path plus the
+final constraint that the sink argument lie in the attack language.
+
+Symbolic values are terms of the core grammar — concatenations of
+string constants and input variables — so the translation to the
+decision procedure is direct:
+
+* ``preg_match('/re/', e)`` taken *true* adds ``e ⊆ L(search re)``;
+  taken *false* adds ``e ⊆ complement``.
+* ``$x == 'lit'`` adds ``x ⊆ {lit}`` (or the complement for ``!=``).
+* known sanitizers (``addslashes`` etc.) havoc their result into a
+  fresh variable constrained to be quote-free — a sound model for
+  SQL-injection reachability (see DESIGN.md);
+* unknown calls havoc into an unconstrained fresh variable.
+
+Disjunctive branch conditions (``!(a && b)`` paths) contribute no
+constraint rather than a disjunction; this matches the prototype's
+"simple" symbolic execution and only ever *under*-constrains, which
+the solver then resolves by solving the remaining system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.dfa import complement
+from ..automata.nfa import Nfa
+from ..constraints.terms import ConcatTerm, Const, Problem, Subset, Term, Var
+from ..regex import parse_exact, preg_pattern, to_nfa
+from .ast import (
+    Assign,
+    BoolLit,
+    BoolOp,
+    Call,
+    Compare,
+    ConcatExpr,
+    Echo,
+    Expr,
+    ExprStmt,
+    InputRef,
+    Not,
+    PregMatch,
+    Program,
+    Stmt,
+    StringLit,
+    Ternary,
+    VarRef,
+)
+from .cfg import Cfg, build_cfg
+
+__all__ = ["SinkQuery", "SymbolicExecutor", "DEFAULT_SINKS", "SANITIZERS"]
+
+#: Functions whose argument flows into the database.
+DEFAULT_SINKS = frozenset({"query", "mysql_query", "mysqli_query", "pg_query"})
+
+#: Functions modelled as producing quote-free output.
+SANITIZERS = frozenset(
+    {"addslashes", "mysql_real_escape_string", "mysqli_real_escape_string",
+     "pg_escape_string", "intval"}
+)
+
+
+@dataclass
+class SinkQuery:
+    """One (path, sink) pair and the constraint system describing it."""
+
+    path: list[int]
+    sink_line: int
+    constraints: list[Subset]
+    inputs: list[str]
+    alphabet: Alphabet
+    #: Transducer-derived values (``transducers=True`` mode):
+    #: result-variable name → (the transducer, the source term).  The
+    #: analyzer maps solved result languages back through ``preimage``.
+    derived: dict[str, tuple[object, Term]] = field(default_factory=dict)
+
+    @property
+    def num_constraints(self) -> int:
+        """The paper's ``|C|`` for this query."""
+        return len(self.constraints)
+
+    def problem(self) -> Problem:
+        """The RMA instance for this sink (solve with ``query=inputs``)."""
+        return Problem(list(self.constraints), alphabet=self.alphabet)
+
+
+class _Infeasible(Exception):
+    """Raised when a path contradicts a concrete boolean."""
+
+
+class SymbolicExecutor:
+    """Symbolically executes every path of one program."""
+
+    def __init__(
+        self,
+        attack: Nfa,
+        sinks: frozenset[str] = DEFAULT_SINKS,
+        alphabet: Alphabet = BYTE_ALPHABET,
+        max_paths: int = 4096,
+        transducers: bool = False,
+    ):
+        self.attack = attack
+        self.sinks = sinks
+        self.alphabet = alphabet
+        self.max_paths = max_paths
+        #: Precise sanitizer mode (paper Sec. 5 future work): model
+        #: known string functions as finite-state transducers instead
+        #: of havocking.  The sanitized value is constrained to the
+        #: transducer's output language and recorded in
+        #: :attr:`SinkQuery.derived` for pre-image refinement.
+        self.transducers = transducers
+        self._const_pool: dict[tuple[str, str], Const] = {}
+        self._fresh_counter = 0
+        self._attack_const = Const("attack", attack, source="<attack spec>")
+        self._image_consts: dict[str, Const] = {}
+        self._current_derived: dict[str, tuple[object, Term]] = {}
+
+    # -- constant interning ----------------------------------------------
+
+    def _literal_const(self, text: str) -> Const:
+        key = ("lit", text)
+        if key not in self._const_pool:
+            name = f"lit{len(self._const_pool)}"
+            self._const_pool[key] = Const.from_literal(name, text, self.alphabet)
+        return self._const_pool[key]
+
+    def _pattern_const(self, pattern: str, positive: bool) -> Const:
+        key = ("re+" if positive else "re-", pattern)
+        if key not in self._const_pool:
+            spec = preg_pattern(pattern, self.alphabet)
+            machine = to_nfa(spec.search(), self.alphabet)
+            if not positive:
+                machine = complement(machine)
+            name = f"{'re' if positive else 'nre'}{len(self._const_pool)}"
+            self._const_pool[key] = Const(
+                name, machine, source=f"{'' if positive else '!'}m{pattern}"
+            )
+        return self._const_pool[key]
+
+    def _not_literal_const(self, text: str) -> Const:
+        key = ("nlit", text)
+        if key not in self._const_pool:
+            machine = complement(Nfa.literal(text, self.alphabet))
+            name = f"nlit{len(self._const_pool)}"
+            self._const_pool[key] = Const(name, machine, source=f"!{text!r}")
+        return self._const_pool[key]
+
+    def _quote_free_const(self) -> Const:
+        key = ("spec", "quote-free")
+        if key not in self._const_pool:
+            machine = to_nfa(parse_exact(r"[^']*", self.alphabet), self.alphabet)
+            self._const_pool[key] = Const("quotefree", machine, source="/[^']*/")
+        return self._const_pool[key]
+
+    def _fresh_var(self, hint: str) -> Var:
+        self._fresh_counter += 1
+        return Var(f"tmp{self._fresh_counter}_{hint}")
+
+    # -- main entry ---------------------------------------------------------
+
+    def run(self, program: Program) -> list[SinkQuery]:
+        """All (path, sink) constraint systems of ``program``."""
+        return self.run_cfg(build_cfg(program))
+
+    def run_cfg(self, cfg: Cfg) -> list[SinkQuery]:
+        """All (path, sink) constraint systems of a prebuilt CFG.
+
+        Queries that are syntactically identical — same sink and same
+        constraint system — are reported once even when many paths
+        share the prefix that reaches the sink (post-sink branching
+        would otherwise duplicate them combinatorially).
+        """
+        queries: list[SinkQuery] = []
+        seen: set[tuple] = set()
+        for path in cfg.paths(max_paths=self.max_paths):
+            try:
+                path_queries = self._run_path(cfg, path)
+            except _Infeasible:
+                continue
+            for query in path_queries:
+                key = (
+                    query.sink_line,
+                    tuple(str(c) for c in query.constraints),
+                )
+                if key not in seen:
+                    seen.add(key)
+                    queries.append(query)
+        return queries
+
+    # -- path execution ----------------------------------------------------
+
+    def _run_path(self, cfg: Cfg, path: list[int]) -> list[SinkQuery]:
+        store: dict[str, Term] = {}
+        constraints: list[Subset] = []
+        inputs: set[str] = set()
+        queries: list[SinkQuery] = []
+        self._current_derived = {}
+
+        for index, block_id in enumerate(path):
+            block = cfg.block(block_id)
+            for statement in block.statements:
+                self._execute(
+                    statement, store, constraints, inputs, queries, path
+                )
+            if block.condition is not None and index + 1 < len(path):
+                taken_true = path[index + 1] == block.true_successor
+                self._assume(
+                    block.condition, taken_true, store, constraints, inputs
+                )
+        return queries
+
+    def _execute(
+        self,
+        statement: Stmt,
+        store: dict[str, Term],
+        constraints: list[Subset],
+        inputs: set[str],
+        queries: list[SinkQuery],
+        path: list[int],
+    ) -> None:
+        if isinstance(statement, Assign):
+            store[statement.target] = self._eval(
+                statement.value, store, constraints, inputs, queries, path
+            )
+            return
+        if isinstance(statement, (ExprStmt, Echo)):
+            expr = statement.expr if isinstance(statement, ExprStmt) else statement.value
+            self._eval(expr, store, constraints, inputs, queries, path)
+            return
+        # Exit has no symbolic effect (the CFG already ended the path).
+
+    def _eval(
+        self,
+        expr: Expr,
+        store: dict[str, Term],
+        constraints: list[Subset],
+        inputs: set[str],
+        queries: list[SinkQuery],
+        path: list[int],
+    ) -> Term:
+        if isinstance(expr, StringLit):
+            return self._literal_const(expr.value)
+        if isinstance(expr, VarRef):
+            # Uninitialized variables read as the empty string, as PHP's
+            # coercion would (modulo the notice).
+            return store.get(expr.name, self._literal_const(""))
+        if isinstance(expr, InputRef):
+            inputs.add(expr.input_name)
+            return Var(expr.input_name)
+        if isinstance(expr, ConcatExpr):
+            parts = [
+                self._eval(p, store, constraints, inputs, queries, path)
+                for p in expr.parts
+            ]
+            return _concat_terms(parts)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, store, constraints, inputs, queries, path)
+        if isinstance(expr, Ternary):
+            # Assignments of ternaries were lowered to branches by the
+            # CFG builder; a ternary in any other position is havocked.
+            self._eval(expr.then_value, store, constraints, inputs, queries, path)
+            self._eval(expr.else_value, store, constraints, inputs, queries, path)
+            return self._fresh_var("ternary")
+        if isinstance(expr, (PregMatch, Compare, Not, BoolOp, BoolLit)):
+            # A boolean in value position: its string value is not
+            # tracked ("1"/"" in PHP); havoc.
+            return self._fresh_var("bool")
+        raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    def _eval_call(
+        self,
+        expr: Call,
+        store: dict[str, Term],
+        constraints: list[Subset],
+        inputs: set[str],
+        queries: list[SinkQuery],
+        path: list[int],
+    ) -> Term:
+        args = [
+            self._eval(a, store, constraints, inputs, queries, path)
+            for a in expr.args
+        ]
+        name = expr.name.lower()
+        if name in self.sinks and args:
+            sink_constraints = list(constraints)
+            sink_constraints.append(Subset(args[0], self._attack_const))
+            queries.append(
+                SinkQuery(
+                    path=list(path),
+                    sink_line=expr.line,
+                    constraints=sink_constraints,
+                    inputs=sorted(inputs),
+                    alphabet=self.alphabet,
+                    derived=dict(self._current_derived),
+                )
+            )
+            return self._fresh_var("result")
+        if self.transducers:
+            modelled = self._eval_transducer_call(expr, args, constraints)
+            if modelled is not None:
+                return modelled
+        if name in SANITIZERS:
+            result = self._fresh_var(name)
+            constraints.append(Subset(result, self._quote_free_const()))
+            return result
+        if name in ("trim", "strtolower", "strtoupper", "stripslashes"):
+            # Length/case transforms: approximate as identity — sound
+            # enough for quote-reachability (they preserve quotes).
+            return args[0] if args else self._literal_const("")
+        return self._fresh_var(name)
+
+    def _eval_transducer_call(
+        self,
+        expr: Call,
+        args: list[Term],
+        constraints: list[Subset],
+    ) -> Optional[Term]:
+        """Model a call as a transducer application, if we know one.
+
+        The result is a fresh variable constrained to the transducer's
+        output language ``T(Σ*)`` and recorded (with its source term)
+        so the analyzer can later pull the solved language back through
+        ``preimage``.  Returns None for unmodelled calls.
+        """
+        from ..analysis.sanitizers import output_language, transducer_for
+
+        name = expr.name.lower()
+        literal_args: Optional[list[str]] = None
+        subject_index = 0
+        if name == "str_replace":
+            if len(expr.args) != 3 or not all(
+                isinstance(a, StringLit) for a in expr.args[:2]
+            ):
+                return None
+            literal_args = [expr.args[0].value, expr.args[1].value]
+            subject_index = 2
+        fst = transducer_for(name, self.alphabet, args=literal_args)
+        if fst is None or len(args) <= subject_index:
+            return None
+        result = self._fresh_var(name)
+        key = name if literal_args is None else f"{name}:{literal_args}"
+        if key not in self._image_consts:
+            machine = output_language(fst)
+            self._image_consts[key] = Const(
+                f"img_{len(self._image_consts)}_{name}",
+                machine,
+                source=f"{name}(Σ*)",
+            )
+        constraints.append(Subset(result, self._image_consts[key]))
+        self._current_derived[result.name] = (fst, args[subject_index])
+        return result
+
+    # -- branch conditions ---------------------------------------------------
+
+    def _assume(
+        self,
+        condition: Expr,
+        truth: bool,
+        store: dict[str, Term],
+        constraints: list[Subset],
+        inputs: set[str],
+    ) -> None:
+        if isinstance(condition, Not):
+            self._assume(condition.operand, not truth, store, constraints, inputs)
+            return
+        if isinstance(condition, BoolLit):
+            if condition.value != truth:
+                raise _Infeasible()
+            return
+        if isinstance(condition, BoolOp):
+            if (condition.op == "and" and truth) or (
+                condition.op == "or" and not truth
+            ):
+                # De Morgan-conjunctive cases: both sides share `truth`.
+                self._assume(condition.left, truth, store, constraints, inputs)
+                self._assume(condition.right, truth, store, constraints, inputs)
+            # Disjunctive outcomes contribute no constraint (see module
+            # docs): the prototype stays simple, as in the paper.
+            return
+        if isinstance(condition, PregMatch):
+            subject = self._eval_pure(condition.subject, store, inputs)
+            if subject is None:
+                return
+            constraints.append(
+                Subset(subject, self._pattern_const(condition.pattern, truth))
+            )
+            return
+        if isinstance(condition, Compare):
+            wanted_equal = (condition.op == "==") == truth
+            left = self._eval_pure(condition.left, store, inputs)
+            right = self._eval_pure(condition.right, store, inputs)
+            literal: Optional[str] = None
+            subject: Optional[Term] = None
+            if isinstance(condition.right, StringLit) and left is not None:
+                literal, subject = condition.right.value, left
+            elif isinstance(condition.left, StringLit) and right is not None:
+                literal, subject = condition.left.value, right
+            if literal is None or subject is None:
+                return
+            if isinstance(subject, Const):
+                # Concrete comparison: decide it now.
+                concrete = subject.machine.accepts(literal)
+                if concrete != wanted_equal:
+                    raise _Infeasible()
+                return
+            const = (
+                self._literal_const(literal)
+                if wanted_equal
+                else self._not_literal_const(literal)
+            )
+            constraints.append(Subset(subject, const))
+            return
+        # Truthiness of strings/calls (e.g. isset): no string constraint.
+
+    def _eval_pure(
+        self, expr: Expr, store: dict[str, Term], inputs: set[str]
+    ) -> Optional[Term]:
+        """Evaluate an expression with no side effects; None if the
+        expression involves havocked values we cannot constrain."""
+        if isinstance(expr, StringLit):
+            return self._literal_const(expr.value)
+        if isinstance(expr, VarRef):
+            return store.get(expr.name, self._literal_const(""))
+        if isinstance(expr, InputRef):
+            inputs.add(expr.input_name)
+            return Var(expr.input_name)
+        if isinstance(expr, ConcatExpr):
+            parts = []
+            for part in expr.parts:
+                value = self._eval_pure(part, store, inputs)
+                if value is None:
+                    return None
+                parts.append(value)
+            return _concat_terms(parts)
+        return None
+
+
+def _concat_terms(parts: list[Term]) -> Term:
+    """Flatten and literal-fuse a concatenation of terms."""
+    flat: list[Term] = []
+    for part in parts:
+        if isinstance(part, ConcatTerm):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    # Drop empty-string literals; they are concatenation identities.
+    flat = [
+        p
+        for p in flat
+        if not (isinstance(p, Const) and p.source == repr(""))
+    ]
+    if not flat:
+        # Everything was the empty string; any one of the (pooled)
+        # empty constants represents the result.
+        return parts[0]
+    if len(flat) == 1:
+        return flat[0]
+    return ConcatTerm(tuple(flat))

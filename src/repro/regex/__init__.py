@@ -1,0 +1,48 @@
+"""Regex front end: parsing, compilation to NFAs, and pretty-printing."""
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Chars,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Regex,
+    Repeat,
+    Star,
+    alt,
+    concat,
+    star,
+)
+from .compile import to_nfa
+from .parser import MatchSpec, RegexSyntaxError, parse, parse_exact, preg_pattern
+from .simplify import simplify
+from .unparse import nfa_to_regex, unparse
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Chars",
+    "Literal",
+    "Concat",
+    "Alt",
+    "Star",
+    "Repeat",
+    "EMPTY",
+    "EPSILON",
+    "concat",
+    "alt",
+    "star",
+    "parse",
+    "parse_exact",
+    "preg_pattern",
+    "MatchSpec",
+    "RegexSyntaxError",
+    "to_nfa",
+    "unparse",
+    "nfa_to_regex",
+    "simplify",
+]

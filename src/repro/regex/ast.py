@@ -1,0 +1,184 @@
+"""Regular-expression abstract syntax.
+
+The solver's constants arrive either as string literals or as regexes
+(the ``preg_match`` patterns of the paper's evaluation).  This AST is
+deliberately a *language-denoting* representation: matching semantics
+(anchors, laziness) are resolved by the parser and compiler, so every
+node here denotes a plain regular language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..automata.charset import CharSet
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Chars",
+    "Literal",
+    "Concat",
+    "Alt",
+    "Star",
+    "Repeat",
+    "EMPTY",
+    "EPSILON",
+    "concat",
+    "alt",
+    "star",
+]
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for regex AST nodes (all immutable and hashable)."""
+
+    def is_empty_language(self) -> bool:
+        return isinstance(self, Empty)
+
+    def is_epsilon(self) -> bool:
+        return isinstance(self, Epsilon) or (
+            isinstance(self, Literal) and not self.text
+        )
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language ∅."""
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty string."""
+
+
+@dataclass(frozen=True)
+class Chars(Regex):
+    """A single character drawn from a character set (``[a-z]``, ``.``)."""
+
+    charset: CharSet
+
+
+@dataclass(frozen=True)
+class Literal(Regex):
+    """A fixed string of characters (a fused run of singletons)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two or more parts, in order."""
+
+    parts: Tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts")
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Alternation (union) of two or more branches."""
+
+    branches: Tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("Alt requires at least two branches")
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure ``inner*``."""
+
+    inner: Regex
+
+
+@dataclass(frozen=True)
+class Repeat(Regex):
+    """Bounded repetition ``inner{lo,hi}``; ``hi=None`` means unbounded.
+
+    ``a+`` parses as ``Repeat(a, 1, None)`` and ``a?`` as
+    ``Repeat(a, 0, 1)``; keeping the counted form in the AST preserves
+    the user's notation for unparse.
+    """
+
+    inner: Regex
+    lo: int
+    hi: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError("negative repetition bound")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"bad repetition bounds {{{self.lo},{self.hi}}}")
+
+
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def concat(*parts: Regex) -> Regex:
+    """Smart concatenation: drops ε, propagates ∅, flattens, fuses literals."""
+    flat: list[Regex] = []
+    for part in parts:
+        if part.is_empty_language():
+            return EMPTY
+        if part.is_epsilon():
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    fused: list[Regex] = []
+    for part in flat:
+        prev = fused[-1] if fused else None
+        if isinstance(part, Literal) and isinstance(prev, Literal):
+            fused[-1] = Literal(prev.text + part.text)
+        elif isinstance(part, Chars) and part.charset.cardinality() == 1:
+            ch = part.charset.sample()
+            if isinstance(prev, Literal):
+                fused[-1] = Literal(prev.text + ch)
+            else:
+                fused.append(Literal(ch))
+        else:
+            fused.append(part)
+    if not fused:
+        return EPSILON
+    if len(fused) == 1:
+        return fused[0]
+    return Concat(tuple(fused))
+
+
+def alt(*branches: Regex) -> Regex:
+    """Smart alternation: drops ∅, flattens, deduplicates."""
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for branch in branches:
+        if branch.is_empty_language():
+            continue
+        parts = branch.branches if isinstance(branch, Alt) else (branch,)
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    """Smart Kleene star: ∅* = ε* = ε stays ε, (r*)* collapses."""
+    if inner.is_empty_language() or inner.is_epsilon():
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, Repeat) and inner.lo == 0 and inner.hi is None:
+        return Star(inner.inner)
+    return Star(inner)

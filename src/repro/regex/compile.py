@@ -1,0 +1,82 @@
+"""Thompson construction: regex AST → ε-NFA.
+
+Every machine produced here is in the paper's normal form (one start
+state, one final state), which the CI construction assumes.
+"""
+
+from __future__ import annotations
+
+from ..automata import ops
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.nfa import Nfa
+from .ast import Alt, Chars, Concat, Empty, Epsilon, Literal, Regex, Repeat, Star
+
+__all__ = ["to_nfa"]
+
+
+def to_nfa(regex: Regex, alphabet: Alphabet = BYTE_ALPHABET) -> Nfa:
+    """Compile a regex AST into a single-start/single-final ε-NFA."""
+    return _compile(regex, alphabet).normalized()
+
+
+def _compile(regex: Regex, alphabet: Alphabet) -> Nfa:
+    if isinstance(regex, Empty):
+        return Nfa.never(alphabet)
+    if isinstance(regex, Epsilon):
+        return Nfa.epsilon_only(alphabet)
+    if isinstance(regex, Literal):
+        return Nfa.literal(regex.text, alphabet)
+    if isinstance(regex, Chars):
+        if regex.charset.is_empty():
+            return Nfa.never(alphabet)
+        return Nfa.char_class(regex.charset, alphabet)
+    if isinstance(regex, Concat):
+        # Build in-place rather than via ops.concat: a regex-level
+        # concatenation is not a solver concatenation, so no bridge
+        # tags, and a flat build avoids one ε per juncture.
+        machine = _compile(regex.parts[0], alphabet)
+        for part in regex.parts[1:]:
+            nxt = _compile(part, alphabet)
+            mapping = ops.embed(machine, nxt)
+            for fin in machine.finals:
+                for st in nxt.starts:
+                    machine.add_epsilon(fin, mapping[st])
+            machine.finals = {mapping[s] for s in nxt.finals}
+        return machine
+    if isinstance(regex, Alt):
+        machine = _compile(regex.branches[0], alphabet)
+        for branch in regex.branches[1:]:
+            machine = ops.union(machine, _compile(branch, alphabet))
+        return machine
+    if isinstance(regex, Star):
+        return ops.star(_compile(regex.inner, alphabet))
+    if isinstance(regex, Repeat):
+        return _compile_repeat(regex, alphabet)
+    raise TypeError(f"unknown regex node {type(regex).__name__}")
+
+
+def _compile_repeat(regex: Repeat, alphabet: Alphabet) -> Nfa:
+    inner = _compile(regex.inner, alphabet)
+    machine = Nfa.epsilon_only(alphabet)
+
+    def append(part: Nfa, optional_tail: bool) -> None:
+        """Concatenate ``part`` (optionally skippable) onto ``machine``."""
+        nonlocal machine
+        mapping = ops.embed(machine, part)
+        new_finals = {mapping[s] for s in part.finals}
+        for fin in machine.finals:
+            for st in part.starts:
+                machine.add_epsilon(fin, mapping[st])
+        if optional_tail:
+            machine.finals = machine.finals | new_finals
+        else:
+            machine.finals = new_finals
+
+    for _ in range(regex.lo):
+        append(inner, optional_tail=False)
+    if regex.hi is None:
+        append(ops.star(inner), optional_tail=False)
+    else:
+        for _ in range(regex.hi - regex.lo):
+            append(inner, optional_tail=True)
+    return machine

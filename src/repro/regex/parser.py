@@ -1,0 +1,371 @@
+"""A recursive-descent parser for a PCRE-style regex subset.
+
+Supported syntax — the subset exercised by the paper's evaluation
+(``preg_match`` filters such as ``/[\\d]+$/``) plus the usual basics:
+
+* literals, ``.``, alternation ``|``, grouping ``(...)`` and ``(?:...)``
+* character classes ``[a-z0-9_]`` and negated classes ``[^...]``
+* escapes ``\\d \\D \\w \\W \\s \\S \\t \\n \\r \\f \\v \\xHH`` and
+  escaped punctuation
+* quantifiers ``* + ? {m} {m,} {m,n}`` with an ignored laziness suffix
+* anchors ``^`` and ``$`` at the boundaries of top-level branches
+
+Anchors are *matching* syntax, not language syntax, so :func:`parse`
+returns a :class:`MatchSpec` that records per-branch anchoring; the
+two language views (`full_match` / `search`) pad with ``Σ*`` exactly
+where anchors are absent — the distinction the paper's motivating
+example hinges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.charset import CharSet
+from . import ast
+from .ast import EPSILON, Chars, Literal, Regex
+
+__all__ = ["RegexSyntaxError", "MatchSpec", "parse", "parse_exact", "preg_pattern"]
+
+
+class RegexSyntaxError(ValueError):
+    """A syntax error, carrying the offending position in the pattern."""
+
+    def __init__(self, pattern: str, pos: int, message: str):
+        self.pattern = pattern
+        self.pos = pos
+        super().__init__(f"{message} at position {pos} in /{pattern}/")
+
+
+@dataclass(frozen=True)
+class MatchSpec:
+    """A parsed pattern: per-branch ``(start_anchored, end_anchored, core)``."""
+
+    pattern: str
+    branches: Tuple[Tuple[bool, bool, Regex], ...]
+    alphabet: Alphabet
+
+    def full_match(self) -> Regex:
+        """Language of strings the pattern matches *in its entirety*.
+
+        Anchors are vacuous for a full match, so they are ignored.
+        """
+        return ast.alt(*(core for _, _, core in self.branches))
+
+    def search(self) -> Regex:
+        """Language of strings *containing* a match (``preg_match`` truth).
+
+        A branch without a ``^`` may start anywhere, so it is padded
+        with ``Σ*`` on the left; likewise ``$`` and the right.  This is
+        exactly why ``/[\\d]+$/`` in the paper admits ``' OR 1=1 --9``.
+        """
+        sigma_star = ast.star(Chars(self.alphabet.universe))
+        padded = []
+        for start_anchored, end_anchored, core in self.branches:
+            left = EPSILON if start_anchored else sigma_star
+            right = EPSILON if end_anchored else sigma_star
+            padded.append(ast.concat(left, core, right))
+        return ast.alt(*padded)
+
+
+# Sentinel "characters" used only inside the parser.
+_CARET = object()
+_DOLLAR = object()
+
+
+class _Parser:
+    def __init__(self, pattern: str, alphabet: Alphabet):
+        self.pattern = pattern
+        self.alphabet = alphabet
+        self.pos = 0
+
+    # -- character stream ------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise RegexSyntaxError(self.pattern, self.pos, "unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise RegexSyntaxError(self.pattern, self.pos, f"expected {ch!r}")
+        self.pos += 1
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.pos, message)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_spec(self) -> MatchSpec:
+        branches = [self.parse_branch(top_level=True)]
+        while self.peek() == "|":
+            self.take()
+            branches.append(self.parse_branch(top_level=True))
+        if self.peek() is not None:
+            raise self.error(f"unexpected {self.peek()!r}")
+        return MatchSpec(self.pattern, tuple(branches), self.alphabet)
+
+    def parse_alt(self) -> Regex:
+        first = self.parse_branch(top_level=False)[2]
+        branches = [first]
+        while self.peek() == "|":
+            self.take()
+            branches.append(self.parse_branch(top_level=False)[2])
+        return ast.alt(*branches)
+
+    def parse_branch(self, top_level: bool) -> tuple[bool, bool, Regex]:
+        """One alternation branch; returns (start_anchored, end_anchored, core)."""
+        items: list[Regex] = []
+        start_anchored = False
+        end_anchored = False
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|)":
+                break
+            if ch == "^":
+                if not top_level or not first:
+                    raise self.error("'^' is only supported at the start of a branch")
+                self.take()
+                start_anchored = True
+                first = False
+                continue
+            if ch == "$":
+                self.take()
+                if self.peek() not in (None, "|", ")"):
+                    raise self.error("'$' is only supported at the end of a branch")
+                if not top_level:
+                    raise self.error("'$' inside a group is not supported")
+                end_anchored = True
+                break
+            items.append(self.parse_repeat())
+            first = False
+        core = ast.concat(*items) if items else EPSILON
+        return start_anchored, end_anchored, core
+
+    def parse_repeat(self) -> Regex:
+        atom = self.parse_atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.take()
+                atom = ast.star(atom)
+            elif ch == "+":
+                self.take()
+                atom = ast.Repeat(atom, 1, None)
+            elif ch == "?":
+                self.take()
+                atom = ast.Repeat(atom, 0, 1)
+            elif ch == "{":
+                saved = self.pos
+                bounds = self.try_parse_bounds()
+                if bounds is None:
+                    self.pos = saved
+                    break
+                lo, hi = bounds
+                atom = ast.Repeat(atom, lo, hi)
+            else:
+                break
+            if self.peek() == "?":
+                # Lazy quantifier: same language, ignore.
+                self.take()
+        return atom
+
+    def try_parse_bounds(self) -> Optional[tuple[int, Optional[int]]]:
+        """Parse ``{m}``/``{m,}``/``{m,n}``; None if it is a literal brace."""
+        self.expect("{")
+        digits = self.take_digits()
+        if digits is None:
+            return None
+        lo = int(digits)
+        ch = self.peek()
+        if ch == "}":
+            self.take()
+            return lo, lo
+        if ch != ",":
+            return None
+        self.take()
+        if self.peek() == "}":
+            self.take()
+            return lo, None
+        digits = self.take_digits()
+        if digits is None or self.peek() != "}":
+            return None
+        self.take()
+        hi = int(digits)
+        if hi < lo:
+            raise self.error(f"repetition bounds out of order {{{lo},{hi}}}")
+        return lo, hi
+
+    def take_digits(self) -> Optional[str]:
+        out = []
+        while self.peek() is not None and self.peek().isdigit():
+            out.append(self.take())
+        return "".join(out) if out else None
+
+    def parse_atom(self) -> Regex:
+        ch = self.take()
+        if ch == "(":
+            if self.peek() == "?":
+                self.take()
+                nxt = self.peek()
+                if nxt == ":":
+                    self.take()
+                else:
+                    raise self.error(f"unsupported group modifier (?{nxt}")
+            inner = self.parse_alt() if self.peek() != ")" else EPSILON
+            self.expect(")")
+            return inner
+        if ch == "[":
+            return Chars(self.parse_char_class())
+        if ch == ".":
+            return Chars(self.alphabet.universe)
+        if ch == "\\":
+            return self.parse_escape(in_class=False)
+        if ch in "*+?":
+            raise RegexSyntaxError(
+                self.pattern, self.pos - 1, f"quantifier {ch!r} with nothing to repeat"
+            )
+        if ch in ")":
+            raise RegexSyntaxError(self.pattern, self.pos - 1, "unmatched ')'")
+        return Literal(ch)
+
+    def parse_escape(self, in_class: bool) -> Regex:
+        start = self.pos - 1
+        ch = self.take()
+        classes = {
+            "d": self.alphabet.digit,
+            "D": self.alphabet.negate(self.alphabet.digit),
+            "w": self.alphabet.word,
+            "W": self.alphabet.negate(self.alphabet.word),
+            "s": self.alphabet.space,
+            "S": self.alphabet.negate(self.alphabet.space),
+        }
+        if ch in classes:
+            return Chars(classes[ch])
+        simple = {"t": "\t", "n": "\n", "r": "\r", "f": "\f", "v": "\v", "0": "\0"}
+        if ch in simple:
+            return Literal(simple[ch])
+        if ch == "x":
+            if self.peek() == "{":
+                # PCRE braced form \x{HHHH..} (any number of digits).
+                self.take()
+                digits = []
+                while self.peek() not in (None, "}"):
+                    digits.append(self.take())
+                self.expect("}")
+                hex_digits = "".join(digits)
+            else:
+                hex_digits = self.take() + self.take()
+            try:
+                return Literal(chr(int(hex_digits, 16)))
+            except (ValueError, OverflowError):
+                raise RegexSyntaxError(self.pattern, start, f"bad \\x{hex_digits}")
+        if ch == "u":
+            hex_digits = "".join(self.take() for _ in range(4))
+            try:
+                return Literal(chr(int(hex_digits, 16)))
+            except ValueError:
+                raise RegexSyntaxError(self.pattern, start, f"bad \\u{hex_digits}")
+        if ch.isalnum():
+            raise RegexSyntaxError(self.pattern, start, f"unsupported escape \\{ch}")
+        return Literal(ch)
+
+    def parse_char_class(self) -> CharSet:
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        members = CharSet.empty()
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error("unterminated character class")
+            if ch == "]" and not first:
+                self.take()
+                break
+            members = members | self.parse_class_item()
+            first = False
+        if negated:
+            return self.alphabet.negate(members)
+        return members & self.alphabet.universe
+
+    def parse_class_item(self) -> CharSet:
+        lo_set = self.parse_class_char()
+        if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[
+            self.pos + 1
+        ] != "]":
+            if lo_set is None or lo_set.cardinality() != 1:
+                raise self.error("character class range bound must be a single char")
+            self.take()
+            hi_set = self.parse_class_char()
+            if hi_set is None or hi_set.cardinality() != 1:
+                raise self.error("character class range bound must be a single char")
+            lo = lo_set.min_char()
+            hi = hi_set.min_char()
+            if hi < lo:
+                raise self.error("character class range out of order")
+            return CharSet.range(lo, hi)
+        return lo_set
+
+    def parse_class_char(self) -> CharSet:
+        ch = self.take()
+        if ch == "\\":
+            item = self.parse_escape(in_class=True)
+            if isinstance(item, Chars):
+                return item.charset
+            assert isinstance(item, Literal) and len(item.text) == 1
+            return CharSet.single(item.text)
+        return CharSet.single(ch)
+
+
+def parse(pattern: str, alphabet: Alphabet = BYTE_ALPHABET) -> MatchSpec:
+    """Parse a pattern into a :class:`MatchSpec` (anchors allowed)."""
+    return _Parser(pattern, alphabet).parse_spec()
+
+
+def parse_exact(pattern: str, alphabet: Alphabet = BYTE_ALPHABET) -> Regex:
+    """Parse a pattern that denotes a language directly (no anchors).
+
+    This is the entry point for writing constants in the constraint DSL,
+    where ``Σ*`` padding would be surprising; anchors are rejected.
+    """
+    spec = parse(pattern, alphabet)
+    for start_anchored, end_anchored, _ in spec.branches:
+        if start_anchored or end_anchored:
+            raise RegexSyntaxError(
+                pattern, 0, "anchors have no meaning in a language-level regex"
+            )
+    return spec.full_match()
+
+
+def preg_pattern(delimited: str, alphabet: Alphabet = BYTE_ALPHABET) -> MatchSpec:
+    """Parse a PHP ``preg_match`` pattern including its delimiters.
+
+    ``preg_pattern("/[\\d]+$/")`` strips the slashes (any matching
+    punctuation pair is accepted, per PHP) and parses the body.
+    Trailing PCRE flags are rejected except the no-op ``s`` (dot
+    already matches everything in our semantics).
+    """
+    if len(delimited) < 2:
+        raise RegexSyntaxError(delimited, 0, "pattern too short to be delimited")
+    open_delim = delimited[0]
+    close_delim = {"(": ")", "[": "]", "{": "}", "<": ">"}.get(open_delim, open_delim)
+    end = delimited.rfind(close_delim)
+    if end <= 0:
+        raise RegexSyntaxError(delimited, 0, "missing closing delimiter")
+    flags = delimited[end + 1 :]
+    for flag in flags:
+        if flag not in "s":
+            raise RegexSyntaxError(delimited, end + 1, f"unsupported flag {flag!r}")
+    return parse(delimited[1:end], alphabet)

@@ -1,0 +1,157 @@
+"""Algebraic simplification of regex ASTs.
+
+State elimination (:func:`repro.regex.unparse.nfa_to_regex`) tends to
+produce redundant shapes like ``(?:a|a)`` or ``aa*``; this pass applies
+a fixed set of language-preserving rewrites bottom-up until a fixed
+point.  It is purely cosmetic — solver correctness never depends on it.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import (
+    EPSILON,
+    Alt,
+    Chars,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Regex,
+    Repeat,
+    Star,
+)
+
+__all__ = ["simplify"]
+
+_MAX_PASSES = 8
+
+
+def simplify(regex: Regex) -> Regex:
+    """Rewrite to a smaller equivalent AST (bounded number of passes)."""
+    current = regex
+    for _ in range(_MAX_PASSES):
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def _rewrite(regex: Regex) -> Regex:
+    if isinstance(regex, (Empty, Epsilon, Literal, Chars)):
+        return regex
+    if isinstance(regex, Concat):
+        parts = [_rewrite(p) for p in regex.parts]
+        return _simplify_concat(parts)
+    if isinstance(regex, Alt):
+        branches = [_rewrite(b) for b in regex.branches]
+        return _simplify_alt(branches)
+    if isinstance(regex, Star):
+        return _simplify_star(_rewrite(regex.inner))
+    if isinstance(regex, Repeat):
+        return _simplify_repeat(regex, _rewrite(regex.inner))
+    raise TypeError(f"unknown regex node {type(regex).__name__}")
+
+
+def _body(regex: Regex) -> Regex | None:
+    """The repeated body if ``regex`` is ``r*`` or ``r+``, else None."""
+    if isinstance(regex, Star):
+        return regex.inner
+    if isinstance(regex, Repeat) and regex.hi is None and regex.lo <= 1:
+        return regex.inner
+    return None
+
+
+def _simplify_concat(parts: list[Regex]) -> Regex:
+    out: list[Regex] = []
+    for part in parts:
+        prev = out[-1] if out else None
+        body = _body(part)
+        if prev is not None and body is not None:
+            # r r*  ->  r+      and      r* r* -> r*
+            if prev == body:
+                out[-1] = Repeat(body, 1, None)
+                continue
+            if _body(prev) == body and isinstance(prev, Star):
+                lo = 0 if isinstance(part, Star) else 1
+                out[-1] = Star(body) if lo == 0 else Repeat(body, 1, None)
+                continue
+        prev_body = _body(prev) if prev is not None else None
+        if prev_body is not None and prev_body == part and isinstance(prev, Star):
+            # r* r  ->  r+
+            out[-1] = Repeat(part, 1, None)
+            continue
+        out.append(part)
+    return ast.concat(*out)
+
+
+def _simplify_alt(branches: list[Regex]) -> Regex:
+    # Merge single-character branches into one character class.
+    merged_class = None
+    rest: list[Regex] = []
+    has_epsilon = False
+    for branch in branches:
+        cs = _as_charset(branch)
+        if cs is not None:
+            merged_class = cs if merged_class is None else merged_class | cs
+        elif branch.is_epsilon():
+            has_epsilon = True
+        else:
+            rest.append(branch)
+    out: list[Regex] = []
+    if merged_class is not None:
+        out.append(Chars(merged_class))
+    out.extend(rest)
+    if has_epsilon:
+        # ε | r+  ->  r*  ;  ε | r*  ->  r*  ; otherwise keep ε (as r?).
+        for idx, branch in enumerate(out):
+            body = _body(branch)
+            if body is not None:
+                out[idx] = Star(body)
+                has_epsilon = False
+                break
+    if has_epsilon:
+        if len(out) == 1:
+            return Repeat(out[0], 0, 1)
+        out.append(EPSILON)
+    return ast.alt(*out)
+
+
+def _as_charset(regex: Regex):
+    if isinstance(regex, Chars):
+        return regex.charset
+    if isinstance(regex, Literal) and len(regex.text) == 1:
+        from ..automata.charset import CharSet
+
+        return CharSet.single(regex.text)
+    return None
+
+
+def _simplify_star(inner: Regex) -> Regex:
+    # (r | ε)* -> r* ;  (r+)* -> r* ;  (r*)* -> r*
+    body = _body(inner)
+    if body is not None:
+        return Star(body)
+    if isinstance(inner, Alt):
+        non_eps = [b for b in inner.branches if not b.is_epsilon()]
+        if len(non_eps) < len(inner.branches):
+            return _simplify_star(ast.alt(*non_eps))
+    if isinstance(inner, Repeat) and inner.lo == 0 and inner.hi == 1:
+        return _simplify_star(inner.inner)
+    return ast.star(inner)
+
+
+def _simplify_repeat(original: Repeat, inner: Regex) -> Regex:
+    if inner.is_empty_language():
+        return EPSILON if original.lo == 0 else ast.EMPTY
+    if inner.is_epsilon():
+        return EPSILON
+    if (original.lo, original.hi) == (1, 1):
+        return inner
+    if (original.lo, original.hi) == (0, None):
+        return _simplify_star(inner)
+    if isinstance(inner, Star) and original.hi is None:
+        # (r*){n,} = r*
+        return inner
+    return Repeat(inner, original.lo, original.hi)

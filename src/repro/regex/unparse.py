@@ -1,0 +1,187 @@
+"""Rendering regexes back to text, and NFA → regex state elimination.
+
+The solver's satisfying assignments are NFAs; presenting them to a
+human (the paper prints languages like ``Σ*'Σ*(0|...|9)``) needs the
+reverse direction of the compiler.  :func:`nfa_to_regex` implements the
+classic GNFA state-elimination construction with a low-degree-first
+elimination order and relies on the AST smart constructors to keep the
+result readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..automata.charset import CharSet
+from ..automata.nfa import Nfa
+from . import ast
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Chars,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Regex,
+    Repeat,
+    Star,
+)
+
+__all__ = ["unparse", "nfa_to_regex"]
+
+_NEEDS_ESCAPE = set("\\.^$|?*+()[]{}/")
+
+
+def _escape_char(ch: str) -> str:
+    if ch in _NEEDS_ESCAPE:
+        return "\\" + ch
+    specials = {"\t": "\\t", "\n": "\\n", "\r": "\\r", "\f": "\\f", "\v": "\\v"}
+    if ch in specials:
+        return specials[ch]
+    cp = ord(ch)
+    if cp < 0x20 or cp == 0x7F:
+        return f"\\x{cp:02x}"
+    return ch
+
+
+def _render_charset(cs: CharSet, universe: Optional[CharSet]) -> str:
+    if universe is not None:
+        if cs == universe:
+            return "."
+        negated = universe - cs
+        if 0 < negated.cardinality() < cs.cardinality():
+            return f"[^{negated.format()}]"
+    if cs.cardinality() == 1:
+        return _escape_char(cs.sample())
+    return f"[{cs.format()}]"
+
+
+# Precedence levels: alternation < concatenation < repetition < atom.
+_ALT, _CONCAT, _REPEAT, _ATOM = range(4)
+
+
+def unparse(regex: Regex, universe: Optional[CharSet] = None) -> str:
+    """Render an AST as pattern text that reparses to the same language.
+
+    ``universe`` (when given) enables the ``.`` and ``[^...]``
+    abbreviations relative to that alphabet.
+    """
+    return _render(regex, universe)[0]
+
+
+def _render(regex: Regex, universe: Optional[CharSet]) -> tuple[str, int]:
+    """Returns (text, precedence-level of the top construct)."""
+    if isinstance(regex, Empty):
+        # No standard syntax for the empty language; a never-matching
+        # class is the conventional spelling.
+        return "[^\\x00-\\x{10ffff}]", _ATOM
+    if isinstance(regex, Epsilon):
+        return "", _CONCAT
+    if isinstance(regex, Literal):
+        if not regex.text:
+            return "", _CONCAT
+        text = "".join(_escape_char(ch) for ch in regex.text)
+        return text, _ATOM if len(regex.text) == 1 else _CONCAT
+    if isinstance(regex, Chars):
+        return _render_charset(regex.charset, universe), _ATOM
+    if isinstance(regex, Concat):
+        parts = [_bracket(p, _CONCAT, universe) for p in regex.parts]
+        return "".join(parts), _CONCAT
+    if isinstance(regex, Alt):
+        parts = [_bracket(b, _ALT, universe) for b in regex.branches]
+        return "|".join(parts), _ALT
+    if isinstance(regex, Star):
+        return _bracket(regex.inner, _REPEAT, universe) + "*", _REPEAT
+    if isinstance(regex, Repeat):
+        body = _bracket(regex.inner, _REPEAT, universe)
+        if (regex.lo, regex.hi) == (1, None):
+            return body + "+", _REPEAT
+        if (regex.lo, regex.hi) == (0, 1):
+            return body + "?", _REPEAT
+        if (regex.lo, regex.hi) == (0, None):
+            return body + "*", _REPEAT
+        if regex.hi is None:
+            return body + f"{{{regex.lo},}}", _REPEAT
+        if regex.hi == regex.lo:
+            return body + f"{{{regex.lo}}}", _REPEAT
+        return body + f"{{{regex.lo},{regex.hi}}}", _REPEAT
+    raise TypeError(f"unknown regex node {type(regex).__name__}")
+
+
+def _bracket(regex: Regex, context: int, universe: Optional[CharSet]) -> str:
+    text, level = _render(regex, universe)
+    if level < max(context, _CONCAT) or (context >= _REPEAT and level < _ATOM):
+        return f"(?:{text})"
+    # An empty rendering inside a concatenation would vanish silently,
+    # which is fine (it denotes ε).
+    return text
+
+
+def nfa_to_regex(nfa: Nfa) -> Regex:
+    """State-elimination conversion of an NFA to a regex AST.
+
+    Produces a regex denoting exactly ``L(nfa)``.  The machine is
+    trimmed first; elimination order is lowest in×out degree first,
+    which keeps intermediate labels small in practice.
+    """
+    trimmed = nfa.trim()
+    if trimmed.is_empty():
+        return EMPTY
+
+    # GNFA edge labels, collapsing parallel edges through alt().
+    labels: dict[tuple[int, int], Regex] = {}
+
+    def add_label(src: int, dst: int, regex: Regex) -> None:
+        if regex.is_empty_language():
+            return
+        key = (src, dst)
+        if key in labels:
+            labels[key] = ast.alt(labels[key], regex)
+        else:
+            labels[key] = regex
+
+    live = trimmed.live_states()
+    for src, edge in trimmed.edges():
+        if src not in live or edge.dst not in live:
+            continue
+        if edge.label is None:
+            add_label(src, edge.dst, EPSILON)
+        elif edge.label.cardinality() == 1:
+            add_label(src, edge.dst, Literal(edge.label.sample()))
+        else:
+            add_label(src, edge.dst, Chars(edge.label))
+
+    start = -1
+    final = -2
+    for st in trimmed.starts:
+        if st in live:
+            add_label(start, st, EPSILON)
+    for fin in trimmed.finals:
+        if fin in live:
+            add_label(fin, final, EPSILON)
+
+    remaining = set(live)
+    while remaining:
+        state = min(
+            remaining,
+            key=lambda s: (
+                sum(1 for (a, b) in labels if b == s and a != s)
+                * sum(1 for (a, b) in labels if a == s and b != s)
+            ),
+        )
+        remaining.remove(state)
+        self_loop = labels.pop((state, state), None)
+        loop_regex = ast.star(self_loop) if self_loop is not None else EPSILON
+        incoming = [(a, r) for (a, b), r in labels.items() if b == state]
+        outgoing = [(b, r) for (a, b), r in labels.items() if a == state]
+        for (a, _) in incoming:
+            labels.pop((a, state))
+        for (b, _) in outgoing:
+            labels.pop((state, b))
+        for a, rin in incoming:
+            for b, rout in outgoing:
+                add_label(a, b, ast.concat(rin, loop_regex, rout))
+
+    return labels.get((start, final), EMPTY)

@@ -1,0 +1,161 @@
+"""Extensions sketched in paper Sec. 3.1.2.
+
+The paper notes that RMA "can be readily extended to support additional
+operations, such as union or substring indexing ... implemented using
+basic operations on nondeterministic finite state automata".  This
+module provides the three extensions the paper names or implies:
+
+* **Union in expressions** — ``(e1 | e2) ⊆ c`` distributes into
+  ``e1 ⊆ c ∧ e2 ⊆ c``; :func:`expand_unions` performs the rewriting so
+  the core grammar (Fig. 2) never has to know about union.
+* **Length restriction** (the paper's substring-indexing example:
+  "restrict the language of a variable to strings of a specified
+  length n, to model length checks in code") — :func:`length_between`
+  builds the constant ``Σ^{lo..hi}`` to intersect against.
+* **Universal prefix/suffix contexts** — the *sound* semantics for a
+  constant operand in a concatenation: ``prefix_context(c, t)`` is
+  ``{w | ∀u ∈ c: u·w ∈ t}``, computed with the universal quotients of
+  :mod:`repro.automata.ops` (see DESIGN.md for how this differs from
+  the paper's slice-based treatment of constant operands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union as TypingUnion
+
+from ..automata import ops
+from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..automata.nfa import Nfa
+from ..constraints.terms import ConcatTerm, Const, Problem, Subset, Term, Var
+
+__all__ = [
+    "UnionTerm",
+    "ExtendedSubset",
+    "expand_unions",
+    "length_exactly",
+    "length_between",
+    "prefix_context",
+    "suffix_context",
+]
+
+
+@dataclass(frozen=True)
+class UnionTerm:
+    """A union of terms — extension syntax, rewritten away before solving."""
+
+    parts: Tuple["ExtTerm", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("UnionTerm requires at least two parts")
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+ExtTerm = TypingUnion[Term, UnionTerm, "ExtConcat"]
+
+
+@dataclass(frozen=True)
+class ExtConcat:
+    """Concatenation over extended terms (may contain unions)."""
+
+    parts: Tuple[ExtTerm, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("ExtConcat requires at least two operands")
+
+    def __str__(self) -> str:
+        return " . ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class ExtendedSubset:
+    """A subset constraint whose left side may use unions."""
+
+    lhs: ExtTerm
+    rhs: Const
+
+
+def expand_unions(
+    constraints: list[ExtendedSubset], alphabet: Alphabet = BYTE_ALPHABET
+) -> Problem:
+    """Distribute unions and produce a core-grammar :class:`Problem`.
+
+    ``(e1 | e2) ⊆ c`` holds iff both ``e1 ⊆ c`` and ``e2 ⊆ c`` hold, and
+    concatenation distributes over union, so every extended constraint
+    expands into the cross product of its union branches.
+    """
+    core: list[Subset] = []
+    for constraint in constraints:
+        for term in _expand_term(constraint.lhs):
+            core.append(Subset(term, constraint.rhs))
+    return Problem(core, alphabet=alphabet)
+
+
+def _expand_term(term: ExtTerm) -> list[Term]:
+    if isinstance(term, UnionTerm):
+        out: list[Term] = []
+        for part in term.parts:
+            out.extend(_expand_term(part))
+        return out
+    if isinstance(term, (ExtConcat, ConcatTerm)):
+        # Cross product of each operand's expansions.
+        expanded: list[list[Term]] = [[]]
+        for part in term.parts:
+            options = _expand_term(part)
+            expanded = [prefix + [opt] for prefix in expanded for opt in options]
+        out = []
+        for parts in expanded:
+            if len(parts) == 1:
+                out.append(parts[0])
+            else:
+                out.append(ConcatTerm(tuple(parts)))
+        return out
+    if isinstance(term, (Var, Const)):
+        return [term]
+    raise TypeError(f"unknown extended term {term!r}")
+
+
+def length_exactly(
+    count: int, alphabet: Alphabet = BYTE_ALPHABET, name: str = ""
+) -> Const:
+    """The constant ``Σ^count`` — the paper's length-check modelling."""
+    return length_between(count, count, alphabet, name)
+
+
+def length_between(
+    lo: int, hi: int, alphabet: Alphabet = BYTE_ALPHABET, name: str = ""
+) -> Const:
+    """The constant ``Σ^{lo} ∪ ... ∪ Σ^{hi}``."""
+    if lo < 0 or hi < lo:
+        raise ValueError(f"bad length bounds [{lo}, {hi}]")
+    machine = Nfa(alphabet)
+    states = machine.add_states(hi + 1)
+    for index in range(hi):
+        machine.add_transition(states[index], alphabet.universe, states[index + 1])
+    machine.starts = {states[0]}
+    machine.finals = {states[i] for i in range(lo, hi + 1)}
+    label = name or f"len[{lo},{hi}]"
+    return Const(label, machine, source=f"Σ^{{{lo},{hi}}}")
+
+
+def prefix_context(prefix: Const, target: Const, name: str = "") -> Const:
+    """``{w | ∀u ∈ prefix: u·w ∈ target}`` as a constant.
+
+    Useful to pre-solve a concatenation with a constant left operand
+    under the universal semantics: ``prefix · v ⊆ target`` holds for
+    *all* of the prefix exactly when ``v ⊆ prefix_context(...)``.
+    """
+    machine = ops.left_quotient(prefix.machine, target.machine)
+    label = name or f"({prefix.name}\\{target.name})"
+    return Const(label, machine, source=label)
+
+
+def suffix_context(target: Const, suffix: Const, name: str = "") -> Const:
+    """``{w | ∀u ∈ suffix: w·u ∈ target}`` as a constant."""
+    machine = ops.right_quotient(target.machine, suffix.machine)
+    label = name or f"({target.name}/{suffix.name})"
+    return Const(label, machine, source=label)

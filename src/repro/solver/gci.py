@@ -1,0 +1,398 @@
+"""Generalized Concatenation-Intersection over CI-groups (paper Fig. 8).
+
+A *CI-group* is a connected component of the dependency graph's
+concatenation edges (Sec. 3.4.3).  Solving one group generalizes the
+basic CI algorithm along three axes:
+
+* **Nesting** — ``(v1 · v2) · v3 ⊆ c4`` builds a tower of machines; a
+  subset constraint on the top affects every operand below it.  We keep
+  the paper's *shared solution representation* by making every
+  operand's solution a literal sub-machine (a start/final boundary
+  pair) of its top-level machine, so later intersections on the top
+  machine automatically update the operands.
+* **Operation ordering** — inbound subset constraints are applied to a
+  node *before* its machine participates in a concatenation (the
+  paper's first invariant, which the ``nid_5`` example motivates).
+* **Sharing** — a variable that occurs as an operand of several
+  concatenations receives one slice per occurrence; a candidate
+  combination of bridge choices is a solution only if the slices'
+  intersection is non-empty (the paper's "matching machines" check).
+
+Three hygiene measures keep the output consistent with the paper's
+*Maximal* property (Def. 3.1):
+
+* Constant machines are ε-eliminated before any product.  ε-closure
+  aliases of a crossing state would otherwise each produce a bridge
+  image with a possibly *smaller* sliced language — satisfying but not
+  maximal.  The paper's figures draw constants ε-free for this reason.
+* Each candidate is *closed* under a Galois maximization: every
+  variable is re-assigned the largest language that keeps all the
+  group's constraints satisfied given the other variables' current
+  values, computed with universal left/right quotients, until a fixed
+  point.  This is what turns the per-ε-transition slices of the
+  Sec. 3.1.1 example (``(xyy, z)``, ``(xyy, yyz)``, ``(xyyyy, z)``)
+  into the paper's maximal answers ``A1 = (xyy, z|yyz)`` and
+  ``A2 = (x(yy|yyyy), z)``.
+* Surviving solutions that are pointwise subsumed by another solution
+  (every variable's language a subset of the other's) are pruned.
+
+The output is a list of disjunctive solutions, each mapping the group's
+variable nodes to NFAs — one solution per surviving combination of
+bridge-ε choices, exactly one choice per concatenation in the group.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..automata import ops
+from ..automata.dfa import minimize_nfa
+from ..automata.equivalence import equivalent, is_subset
+from ..automata.nfa import BridgeTag, Nfa
+from ..constraints.depgraph import DepGraph, Node
+
+__all__ = ["GciLimits", "solve_group", "group_solutions"]
+
+
+@dataclass
+class GciLimits:
+    """Knobs bounding the (worst-case exponential) enumeration.
+
+    ``prune_subsumed`` implements the Maximal property across a group's
+    disjunctive solutions but requires eager enumeration; turn it off
+    (or set ``max_solutions=1``) to get the paper's stream-the-first-
+    solution behaviour (Sec. 3.5).
+    """
+
+    max_solutions: Optional[int] = None
+    max_combinations: int = 100_000
+    dedupe: bool = True
+    prune_subsumed: bool = True
+    maximize: bool = True
+    max_maximize_rounds: int = 3
+    minimize_leaves: bool = False
+
+
+@dataclass
+class _Occurrence:
+    """One leaf occurrence inside a top machine's expression tree.
+
+    Boundary selectors are resolved against a chosen bridge-edge
+    combination: ``("machine",)`` means the top machine's own
+    starts/finals; ``("edge-src", tag)`` / ``("edge-dst", tag)`` mean
+    the source/target state of the chosen ε-image for ``tag``.
+    """
+
+    node: Node
+    top: Node
+    start_of: tuple
+    final_of: tuple
+
+
+def solve_group(
+    graph: DepGraph,
+    group: set[Node],
+    limits: Optional[GciLimits] = None,
+) -> list[dict[Node, Nfa]]:
+    """Solve one CI-group; returns its disjunctive solutions eagerly."""
+    return list(group_solutions(graph, group, limits))
+
+
+def group_solutions(
+    graph: DepGraph,
+    group: set[Node],
+    limits: Optional[GciLimits] = None,
+) -> Iterator[dict[Node, Nfa]]:
+    """Enumerate a CI-group's disjunctive solutions.
+
+    Yields ``{var node: machine}`` dictionaries; an exhausted iterator
+    with no yields means the group admits no (non-empty) solutions.
+    Enumeration is lazy unless ``prune_subsumed`` demands a global view.
+    """
+    limits = limits or GciLimits()
+    candidates = _enumerate(graph, group, limits)
+    if not limits.prune_subsumed or limits.max_solutions == 1:
+        yield from candidates
+        return
+    collected = list(candidates)
+    keep: list[dict[Node, Nfa]] = []
+    for idx, solution in enumerate(collected):
+        subsumed = False
+        for jdx, other in enumerate(collected):
+            if idx == jdx:
+                continue
+            if _pointwise_subset(solution, other):
+                # Equal solutions were already removed by dedupe, so
+                # pointwise ⊆ here means strictly smaller somewhere;
+                # symmetric ties cannot arise.
+                subsumed = True
+                break
+        if not subsumed:
+            keep.append(solution)
+    yield from keep
+
+
+def _enumerate(
+    graph: DepGraph,
+    group: set[Node],
+    limits: GciLimits,
+) -> Iterator[dict[Node, Nfa]]:
+    alphabet = graph.alphabet
+    leaves = {n for n in group if not n.is_temp}
+    ordered_temps = graph.group_temps_in_order(group)
+
+    def const_machine(node: Node) -> Nfa:
+        # ε-eliminated constants keep bridge images one-per-crossing.
+        return ops.eliminate_epsilon(graph.machine(node))
+
+    # -- Stage 1: leaf machines, subset constraints first (invariant 1).
+    machines: dict[Node, Nfa] = {}
+    for leaf in sorted(leaves, key=lambda n: n.name):
+        if leaf.is_var:
+            base = Nfa.universal(alphabet)
+        else:
+            base = const_machine(leaf)
+        for const_node in graph.inbound_subsets(leaf):
+            base = ops.intersect(base, const_machine(const_node)).trim()
+        if limits.minimize_leaves:
+            base = minimize_nfa(base)
+        machines[leaf] = base
+
+    # -- Stage 2: temp machines bottom-up; every concatenation gets a
+    # bridge tag, every inbound subset is a product on the result.
+    tags: dict[Node, BridgeTag] = {}
+    for temp in ordered_temps:
+        pair = graph.concat_of(temp)
+        assert pair is not None
+        tag = BridgeTag(temp.name)
+        tags[temp] = tag
+        machine = ops.concat(machines[pair.left], machines[pair.right], tag)
+        for const_node in graph.inbound_subsets(temp):
+            machine, _ = ops.product(machine, const_machine(const_node))
+            machine = machine.trim()
+        machines[temp] = machine
+
+    # -- Stage 3: top machines and the leaf occurrences inside them.
+    tops = graph.top_temps(group)
+    occurrences: list[_Occurrence] = []
+    tags_by_top: dict[Node, list[BridgeTag]] = {}
+
+    def walk(node: Node, top: Node, start_of: tuple, final_of: tuple) -> None:
+        if node.is_temp and node in group:
+            pair = graph.concat_of(node)
+            assert pair is not None
+            tag = tags[node]
+            tags_by_top[top].append(tag)
+            walk(pair.left, top, start_of, ("edge-src", tag))
+            walk(pair.right, top, ("edge-dst", tag), final_of)
+        else:
+            occurrences.append(_Occurrence(node, top, start_of, final_of))
+
+    for top in tops:
+        tags_by_top[top] = []
+        walk(top, top, ("machine",), ("machine",))
+
+    # -- Stage 4: candidate bridge edges per tag, read off the final top
+    # machines (the images of each concatenation ε under the products).
+    edges_by_tag: dict[BridgeTag, list[tuple[int, int]]] = {
+        tag: [] for tag in tags.values()
+    }
+    for top in tops:
+        machine = machines[top]
+        live = machine.live_states()
+        for src, edge in sorted(
+            machine.edges(), key=lambda item: (item[0], item[1].dst)
+        ):
+            if edge.tag is None or edge.tag not in edges_by_tag:
+                continue
+            if src in live and edge.dst in live:
+                edges_by_tag[edge.tag].append((src, edge.dst))
+
+    tag_order = [tag for top in tops for tag in tags_by_top[top]]
+    for tag in tag_order:
+        if not edges_by_tag[tag]:
+            return  # some concatenation is unrealizable: no solutions
+
+    total_combinations = 1
+    for tag in tag_order:
+        total_combinations *= len(edges_by_tag[tag])
+    if total_combinations > limits.max_combinations:
+        raise RuntimeError(
+            f"CI-group requires {total_combinations} bridge combinations "
+            f"(limit {limits.max_combinations})"
+        )
+
+    # Flattened leaf sequences per constrained temp, for maximization:
+    # the subtree of temp ``t`` denotes the concatenation of its leaves
+    # in order, and must be ⊆ every constant on ``t``.
+    constraint_specs: list[tuple[Nfa, list[Node]]] = []
+    if limits.maximize:
+        for temp in ordered_temps:
+            inbound = graph.inbound_subsets(temp)
+            if not inbound:
+                continue
+            leaf_seq = _flatten_leaves(graph, group, temp)
+            for const_node in inbound:
+                constraint_specs.append((const_machine(const_node), leaf_seq))
+
+    # -- Stage 5: enumerate combinations; slice, intersect shares,
+    # filter, then close each candidate under Galois maximization.
+    var_nodes = sorted((n for n in leaves if n.is_var), key=lambda n: n.name)
+    accepted: list[dict[Node, Nfa]] = []
+    yielded = 0
+
+    for combo in itertools.product(*(edges_by_tag[tag] for tag in tag_order)):
+        chosen = dict(zip(tag_order, combo))
+        solution = _slice_combination(
+            machines, occurrences, chosen, var_nodes, leaves
+        )
+        if solution is None:
+            continue
+        if limits.maximize:
+            solution = _maximize_solution(
+                solution, machines, constraint_specs, var_nodes, limits
+            )
+        if limits.dedupe and any(
+            _pointwise_equivalent(solution, prior) for prior in accepted
+        ):
+            continue
+        accepted.append(solution)
+        yield solution
+        yielded += 1
+        if limits.max_solutions is not None and yielded >= limits.max_solutions:
+            return
+
+
+def _slice_combination(
+    machines: dict[Node, Nfa],
+    occurrences: list[_Occurrence],
+    chosen: dict[BridgeTag, tuple[int, int]],
+    var_nodes: list[Node],
+    leaves: set[Node],
+) -> Optional[dict[Node, Nfa]]:
+    """Slice every occurrence for one bridge choice; None if any slice
+    or any shared variable's intersection is empty."""
+    slices: dict[Node, list[Nfa]] = {node: [] for node in leaves}
+    for occ in occurrences:
+        machine = machines[occ.top]
+        piece = machine.copy()
+        if occ.start_of[0] != "machine":
+            src, dst = chosen[occ.start_of[1]]
+            piece.set_start(dst)
+        if occ.final_of[0] != "machine":
+            src, dst = chosen[occ.final_of[1]]
+            piece.set_final(src)
+        piece = piece.trim()
+        if piece.is_empty():
+            return None
+        slices[occ.node].append(piece)
+
+    solution: dict[Node, Nfa] = {}
+    for node in var_nodes:
+        parts = slices[node]
+        machine = parts[0]
+        for part in parts[1:]:
+            machine = ops.intersect(machine, part).trim()
+        if machine.is_empty():
+            return None
+        solution[node] = machine
+    return solution
+
+
+def _flatten_leaves(graph: DepGraph, group: set[Node], temp: Node) -> list[Node]:
+    """Leaf operands of ``temp``'s subtree, left to right."""
+    pair = graph.concat_of(temp)
+    assert pair is not None
+    out: list[Node] = []
+    for operand in pair.operands():
+        if operand.is_temp and operand in group:
+            out.extend(_flatten_leaves(graph, group, operand))
+        else:
+            out.append(operand)
+    return out
+
+
+def _maximize_solution(
+    solution: dict[Node, Nfa],
+    leaf_machines: dict[Node, Nfa],
+    constraint_specs: list[tuple[Nfa, list[Node]]],
+    var_nodes: list[Node],
+    limits: GciLimits,
+) -> dict[Node, Nfa]:
+    """Close a satisfying candidate under the Galois maximization.
+
+    For each variable in turn, compute the largest language that keeps
+    every constraint satisfied with the *other* leaves fixed at their
+    current values: for an occurrence with left context ``L`` and right
+    context ``R`` inside a constraint ``⊆ c``, the admissible strings
+    are ``LQ(L, RQ(c, R))`` (universal quotients).  Languages only grow
+    (the current value is always admissible), so iterating to a fixed
+    point — usually one round — yields a maximal assignment.
+    """
+    current: dict[Node, Nfa] = dict(solution)
+
+    def value(node: Node) -> Nfa:
+        if node in current:
+            return current[node]
+        return leaf_machines[node]  # constants stay fixed
+
+    # A variable occurring twice in one constraint cannot be maximized
+    # this way: the quotient for one occurrence holds the *other*
+    # occurrence fixed at the current value, so the grown language is
+    # not guaranteed to satisfy the constraint when substituted at both
+    # positions simultaneously (e.g. v·v ⊆ c).  Such variables keep
+    # their sliced (sound) value.
+    nonlinear = {
+        var
+        for var in var_nodes
+        for _, leaf_seq in constraint_specs
+        if leaf_seq.count(var) > 1
+    }
+
+    for _ in range(limits.max_maximize_rounds):
+        changed = False
+        for var in var_nodes:
+            if var in nonlinear:
+                continue
+            # The variable's own subset constraints are baked into its
+            # stage-1 leaf machine.
+            cap = leaf_machines[var]
+            for const, leaf_seq in constraint_specs:
+                for idx, leaf in enumerate(leaf_seq):
+                    if leaf != var:
+                        continue
+                    left = _concat_all(
+                        [value(n) for n in leaf_seq[:idx]], cap.alphabet
+                    )
+                    right = _concat_all(
+                        [value(n) for n in leaf_seq[idx + 1 :]], cap.alphabet
+                    )
+                    admissible = ops.left_quotient(
+                        left, ops.right_quotient(const, right)
+                    )
+                    cap = ops.intersect(cap, admissible).trim()
+            if not is_subset(cap, current[var]):
+                current[var] = cap
+                changed = True
+        if not changed:
+            break
+    return current
+
+
+def _concat_all(parts: list[Nfa], alphabet) -> Nfa:
+    if not parts:
+        return Nfa.epsilon_only(alphabet)
+    machine = parts[0]
+    for part in parts[1:]:
+        machine = ops.concat(machine, part)
+    return machine
+
+
+def _pointwise_equivalent(a: dict[Node, Nfa], b: dict[Node, Nfa]) -> bool:
+    return all(equivalent(machine, b[node]) for node, machine in a.items())
+
+
+def _pointwise_subset(a: dict[Node, Nfa], b: dict[Node, Nfa]) -> bool:
+    return all(is_subset(machine, b[node]) for node, machine in a.items())

@@ -1,0 +1,10 @@
+"""Re-export of :mod:`repro.stats` under the solver namespace.
+
+The cost model lives at the package root so the automata substrate can
+use it without importing the solver; this alias keeps the import path
+the design document advertises.
+"""
+
+from ..stats import CostTracker, count_operation, current, measure, visit_states
+
+__all__ = ["CostTracker", "measure", "visit_states", "count_operation", "current"]

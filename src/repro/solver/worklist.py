@@ -1,0 +1,142 @@
+"""The general constraint-solving algorithm (paper Fig. 7).
+
+Solving a dependency graph proceeds in the paper's three stages:
+
+1. *Basic constraints* — variables with only subset constraints (no
+   concatenation edges) are resolved by intersecting their inbound
+   constants in topological order (``sort_acyclic_nodes`` + ``reduce``);
+   this never forks the worklist.
+2. *CI-groups* — each connected component of concatenation edges is
+   eliminated by the generalized CI procedure (:mod:`repro.solver.gci`),
+   which may produce several disjunctive solutions; the first solution
+   continues the current work item and the rest are appended to the
+   worklist (Fig. 7 lines 11-15).
+3. *Termination* — a work item whose groups are all eliminated yields a
+   complete assignment.  Following the paper (lines 16-23), an
+   assignment that maps a queried variable to ∅ does not count as
+   success; if every work item ends that way the instance is reported
+   unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..automata import ops
+from ..automata.dfa import minimize_nfa
+from ..automata.equivalence import is_subset
+from ..automata.nfa import Nfa
+from ..constraints.depgraph import DepGraph, build_graph
+from ..constraints.terms import Problem
+from .assignments import Assignment, SolutionSet
+from .gci import GciLimits, group_solutions
+
+__all__ = ["solve", "solve_graph"]
+
+
+def solve(
+    problem: Problem,
+    query: Optional[list[str]] = None,
+    max_solutions: Optional[int] = None,
+    limits: Optional[GciLimits] = None,
+    only: Optional[list[str]] = None,
+) -> SolutionSet:
+    """Find the disjunctive satisfying assignments for an RMA instance.
+
+    ``query`` is the paper's node set ``S``: the variables that must be
+    non-empty for the result to count as satisfiable (default: all).
+    ``max_solutions`` bounds the enumeration; the first solution is
+    always found without enumerating the rest (Sec. 3.5's observation).
+
+    ``only`` solves just the part of the dependency graph a client
+    analysis cares about (paper Sec. 4: "the possibility of solving
+    either part or all of the graph depending on the needs of the
+    client analysis"): CI-groups and basic variables that involve none
+    of the named variables are skipped entirely, and the returned
+    assignments cover only the reachable part.
+    """
+    graph, _ = build_graph(problem)
+    variable_names = [v.name for v in problem.variables()]
+    if only is not None:
+        unknown = set(only) - {v.name for v in problem.variables()}
+        if unknown:
+            raise ValueError(f"unknown variables in `only`: {sorted(unknown)}")
+        variable_names = [n for n in variable_names if n in set(only)]
+    return solve_graph(
+        graph,
+        variable_names,
+        query=query,
+        max_solutions=max_solutions,
+        limits=limits,
+        only=only,
+    )
+
+
+def solve_graph(
+    graph: DepGraph,
+    variable_names: list[str],
+    query: Optional[list[str]] = None,
+    max_solutions: Optional[int] = None,
+    limits: Optional[GciLimits] = None,
+    only: Optional[list[str]] = None,
+) -> SolutionSet:
+    """Solve a pre-built dependency graph (Fig. 7's entry point)."""
+    limits = limits or GciLimits()
+    query_names = list(query) if query is not None else list(variable_names)
+    wanted: Optional[set[str]] = set(only) if only is not None else None
+
+    # -- Constant-to-constant constraints are pure checks: a violated
+    # one makes the whole system unsatisfiable regardless of variables.
+    for edge in graph.subset_edges:
+        if edge.target.is_const:
+            target = graph.machine(edge.target)
+            source = graph.machine(edge.source)
+            if not is_subset(target, source):
+                return SolutionSet([], query_names)
+
+    # -- Stage 1: basic constraints (Fig. 7 lines 3-8).
+    base: dict[str, Nfa] = {}
+    for node in graph.var_nodes():
+        if graph.in_some_concat(node):
+            continue
+        if wanted is not None and node.name not in wanted:
+            continue
+        machine = Nfa.universal(graph.alphabet)
+        for const_node in graph.inbound_subsets(node):
+            machine = ops.intersect(machine, graph.machine(const_node)).trim()
+        if limits.minimize_leaves and not machine.is_empty():
+            machine = minimize_nfa(machine)
+        base[node.name] = machine
+
+    # -- Stage 2: eliminate CI-groups via the worklist (lines 9-23).
+    groups = graph.ci_groups()
+    if wanted is not None:
+        groups = [
+            group
+            for group in groups
+            if any(node.is_var and node.name in wanted for node in group)
+        ]
+    assignments: list[Assignment] = []
+    queue: deque[tuple[int, dict[str, Nfa]]] = deque([(0, base)])
+    while queue:
+        group_index, partial = queue.popleft()
+        if group_index == len(groups):
+            assignments.append(Assignment(partial))
+            if max_solutions is not None and len(assignments) >= max_solutions:
+                break
+            continue
+        group = groups[group_index]
+        produced = 0
+        for solution in group_solutions(graph, group, limits):
+            mapping = dict(partial)
+            for node, machine in solution.items():
+                mapping[node.name] = machine
+            queue.append((group_index + 1, mapping))
+            produced += 1
+            if max_solutions is not None and produced >= max_solutions:
+                break
+        # A group with no solutions kills this work item (the paper's
+        # "no assignments found" branch for the current graph).
+
+    return SolutionSet(assignments, query_names)

@@ -1,0 +1,76 @@
+"""Cost accounting in the paper's unit: NFA states visited.
+
+Section 3.5 of the paper analyses the decision procedure by counting
+the NFA states visited during automata operations, because wall-clock
+time is dominated by exactly those traversals.  This module provides a
+context-local counter that the automata operations increment, so the
+scaling benchmarks can measure the paper's quantity directly.
+
+Usage::
+
+    with stats.measure() as cost:
+        solutions = concat_intersect(c1, c2, c3)
+    print(cost.states_visited)
+
+Measurement is optional: when no ``measure`` block is active the
+increments are a cheap no-op on a dummy tracker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+__all__ = ["CostTracker", "measure", "visit_states", "count_operation", "current"]
+
+
+class CostTracker:
+    """Accumulates operation counts during a :func:`measure` block."""
+
+    def __init__(self) -> None:
+        self.states_visited = 0
+        self.operations: dict[str, int] = {}
+
+    def visit(self, count: int) -> None:
+        self.states_visited += count
+
+    def record(self, name: str) -> None:
+        self.operations[name] = self.operations.get(name, 0) + 1
+
+    def __repr__(self) -> str:
+        ops = ", ".join(f"{k}={v}" for k, v in sorted(self.operations.items()))
+        return f"<CostTracker states_visited={self.states_visited} {ops}>"
+
+
+_current: ContextVar[Optional[CostTracker]] = ContextVar("dprle_cost", default=None)
+
+
+@contextmanager
+def measure() -> Iterator[CostTracker]:
+    """Collect automata-operation costs for the duration of the block."""
+    tracker = CostTracker()
+    token = _current.set(tracker)
+    try:
+        yield tracker
+    finally:
+        _current.reset(token)
+
+
+def current() -> Optional[CostTracker]:
+    """The active tracker, or None outside any ``measure`` block."""
+    return _current.get()
+
+
+def visit_states(count: int) -> None:
+    """Record that an automata operation visited ``count`` states."""
+    tracker = _current.get()
+    if tracker is not None:
+        tracker.visit(count)
+
+
+def count_operation(name: str) -> None:
+    """Record one high-level operation (e.g. ``"product"``)."""
+    tracker = _current.get()
+    if tracker is not None:
+        tracker.record(name)

@@ -1,0 +1,1 @@
+"""The dprle command-line utility (see :mod:`repro.tools.cli`)."""

@@ -1,0 +1,206 @@
+"""The ``dprle`` command-line tool.
+
+The paper released its decision procedure "as a stand-alone utility in
+the style of a theorem prover or SAT solver" (Sec. 4); this is our
+equivalent.  Three subcommands:
+
+``solve FILE``
+    Solve a constraint file in the DSL of
+    :mod:`repro.constraints.dsl`; print each disjunctive assignment as
+    regexes plus a concrete witness per variable.
+
+``analyze FILE``
+    Run the SQL-injection analysis on a PHP file and print exploit
+    inputs for each vulnerable sink.
+
+``corpus``
+    Regenerate the synthetic benchmark corpus to a directory.
+
+Examples::
+
+    dprle solve constraints.dprle
+    dprle analyze vulnerable.php --attack tautology
+    dprle corpus --out ./corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Optional
+
+from ..analysis.analyzer import analyze_source
+from ..analysis.attacks import ALL_ATTACKS, CONTAINS_QUOTE
+from ..analysis.corpus import build_corpus
+from ..constraints.dsl import DslError, parse_problem
+from ..solver.worklist import solve
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dprle",
+        description="Decision procedure for subset constraints over "
+        "regular languages (PLDI 2009 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve_cmd = commands.add_parser("solve", help="solve a constraint file")
+    solve_cmd.add_argument("file", type=pathlib.Path)
+    solve_cmd.add_argument(
+        "--max-solutions", type=int, default=None, metavar="N",
+        help="stop after N disjunctive assignments",
+    )
+    solve_cmd.add_argument(
+        "--witness-only", action="store_true",
+        help="print one concrete string per variable instead of regexes",
+    )
+
+    analyze_cmd = commands.add_parser("analyze", help="analyze a PHP file")
+    analyze_cmd.add_argument("file", type=pathlib.Path)
+    analyze_cmd.add_argument(
+        "--attack",
+        choices=[a.name for a in ALL_ATTACKS],
+        default=CONTAINS_QUOTE.name,
+        help="attack language (default: %(default)s)",
+    )
+    analyze_cmd.add_argument(
+        "--all-sinks", action="store_true",
+        help="solve every sink query instead of stopping at the first hit",
+    )
+
+    graph_cmd = commands.add_parser(
+        "graph", help="emit a constraint file's dependency graph as DOT"
+    )
+    graph_cmd.add_argument("file", type=pathlib.Path)
+    graph_cmd.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write DOT here instead of stdout",
+    )
+
+    corpus_cmd = commands.add_parser("corpus", help="emit the benchmark corpus")
+    corpus_cmd.add_argument("--out", type=pathlib.Path, default=pathlib.Path("corpus"))
+    corpus_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor for per-file size targets (default 1.0)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return _run_solve(args)
+    if args.command == "analyze":
+        return _run_analyze(args)
+    if args.command == "graph":
+        return _run_graph(args)
+    if args.command == "corpus":
+        return _run_corpus(args)
+    parser.error("unknown command")
+    return 2
+
+
+def _run_graph(args: argparse.Namespace) -> int:
+    from ..constraints.depgraph import build_graph
+
+    try:
+        text = args.file.read_text()
+    except OSError as error:
+        print(f"dprle: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        problem = parse_problem(text)
+    except DslError as error:
+        print(f"dprle: {args.file}: {error}", file=sys.stderr)
+        return 2
+    graph, _ = build_graph(problem)
+    dot = graph.to_dot(name=args.file.stem.replace("-", "_"))
+    if args.out is not None:
+        args.out.write_text(dot + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(dot)
+    return 0
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    try:
+        text = args.file.read_text()
+    except OSError as error:
+        print(f"dprle: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        problem = parse_problem(text)
+    except DslError as error:
+        print(f"dprle: {args.file}: {error}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    solutions = solve(problem, max_solutions=args.max_solutions)
+    elapsed = time.perf_counter() - started
+
+    if not solutions.satisfiable:
+        print("no assignments found")
+        print(f"({elapsed:.3f}s)")
+        return 1
+    for index, assignment in enumerate(solutions.nonempty(), start=1):
+        print(f"assignment {index}:")
+        for name, machine in assignment.items():
+            if args.witness_only:
+                print(f"  {name} = {assignment.witness(name)!r}")
+            else:
+                print(f"  {name} <- /{assignment.regex_str(name)}/")
+    print(f"({len(solutions)} assignment(s), {elapsed:.3f}s)")
+    return 0
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    try:
+        source = args.file.read_text()
+    except OSError as error:
+        print(f"dprle: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    attack = next(a for a in ALL_ATTACKS if a.name == args.attack)
+    report = analyze_source(
+        source,
+        file_name=str(args.file),
+        attack=attack,
+        first_only=not args.all_sinks,
+    )
+    print(f"{args.file}: |FG| = {report.num_blocks} basic blocks")
+    if not report.findings:
+        print("  no sink queries found")
+        return 0
+    vulnerable = False
+    for finding in report.findings:
+        status = "VULNERABLE" if finding.vulnerable else "safe"
+        print(
+            f"  sink at line {finding.sink_line}: {status} "
+            f"(|C| = {finding.num_constraints}, "
+            f"TS = {finding.solve_seconds:.3f}s)"
+        )
+        for name, value in sorted(finding.exploit_inputs.items()):
+            if value:
+                print(f"    {name} = {value!r}")
+        vulnerable = vulnerable or finding.vulnerable
+    return 1 if vulnerable else 0
+
+
+def _run_corpus(args: argparse.Namespace) -> int:
+    apps = build_corpus(scale=args.scale)
+    for app in apps:
+        app_dir = args.out / app.name
+        app_dir.mkdir(parents=True, exist_ok=True)
+        for item in app.files:
+            (app_dir / item.name).write_text(item.source)
+        print(
+            f"{app.name} {app.version}: {len(app.files)} files, "
+            f"{app.loc} LOC, {len(app.vulnerable_files)} vulnerable "
+            f"-> {app_dir}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Unit tests for alphabets and their named character classes."""
+
+import pytest
+
+from repro.automata import ASCII_PRINTABLE, BYTE_ALPHABET, Alphabet, CharSet
+
+
+class TestAlphabet:
+    def test_byte_universe(self):
+        assert BYTE_ALPHABET.universe.cardinality() == 256
+        assert BYTE_ALPHABET.universe.contains("\x00")
+        assert BYTE_ALPHABET.universe.contains("\xff")
+
+    def test_ascii_printable(self):
+        assert ASCII_PRINTABLE.universe.contains(" ")
+        assert ASCII_PRINTABLE.universe.contains("~")
+        assert not ASCII_PRINTABLE.universe.contains("\n")
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(CharSet.empty())
+
+    def test_digit_class(self):
+        assert BYTE_ALPHABET.digit.cardinality() == 10
+
+    def test_word_class(self):
+        word = BYTE_ALPHABET.word
+        assert word.contains("_") and word.contains("Z") and word.contains("0")
+        assert not word.contains("-")
+
+    def test_space_class(self):
+        assert BYTE_ALPHABET.space.contains(" ")
+        assert BYTE_ALPHABET.space.contains("\t")
+
+    def test_classes_clip_to_universe(self):
+        tiny = Alphabet(CharSet.of("xyz"), name="xyz")
+        assert tiny.digit.is_empty()
+        assert tiny.word == CharSet.of("xyz")
+
+    def test_negate(self):
+        tiny = Alphabet(CharSet.of("abc"))
+        assert tiny.negate(CharSet.of("a")) == CharSet.of("bc")
+
+    def test_contains_string(self):
+        tiny = Alphabet(CharSet.of("ab"))
+        assert tiny.contains_string("abba")
+        assert not tiny.contains_string("abc")
+        assert tiny.contains_string("")
+
+    def test_equality_by_universe(self):
+        left = Alphabet(CharSet.of("ab"), name="one")
+        right = Alphabet(CharSet.of("ab"), name="two")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_repr_mentions_size(self):
+        assert "256" in repr(BYTE_ALPHABET)

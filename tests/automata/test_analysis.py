@@ -1,0 +1,124 @@
+"""Unit tests for language analysis helpers."""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    Nfa,
+    count_strings,
+    enumerate_strings,
+    is_finite,
+    language_size,
+    ops,
+    random_string,
+    shortest_string,
+)
+
+from ..helpers import ABC, machine
+
+
+class TestShortestString:
+    def test_empty_language(self):
+        assert shortest_string(Nfa.never(ABC)) is None
+
+    def test_epsilon(self):
+        assert shortest_string(Nfa.epsilon_only(ABC)) == ""
+
+    def test_literal(self):
+        assert shortest_string(Nfa.literal("abc", ABC)) == "abc"
+
+    def test_picks_minimum_length(self):
+        assert shortest_string(machine("aaaa|bb|abc")) == "bb"
+
+    def test_epsilon_edges_cost_nothing(self):
+        target = ops.concat(Nfa.epsilon_only(ABC), Nfa.literal("a", ABC))
+        assert shortest_string(target) == "a"
+
+    def test_member_of_language(self):
+        target = machine("(ab|ba)+c")
+        witness = shortest_string(target)
+        assert witness is not None and target.accepts(witness)
+
+
+class TestEnumerate:
+    def test_shortlex_order(self):
+        target = machine("a|b|aa|ab")
+        strings = list(enumerate_strings(target, limit=10))
+        assert strings == sorted(strings, key=lambda s: (len(s), s))
+        assert set(strings) == {"a", "b", "aa", "ab"}
+
+    def test_limit_respected(self):
+        strings = list(enumerate_strings(Nfa.universal(ABC), limit=7))
+        assert len(strings) == 7
+
+    def test_zero_limit(self):
+        assert list(enumerate_strings(machine("a"), limit=0)) == []
+
+    def test_members_only(self):
+        target = machine("a+b")
+        for text in enumerate_strings(target, limit=20):
+            assert target.accepts(text)
+
+    def test_representatives_mode(self):
+        target = Nfa.char_class(ABC.universe, ABC)
+        reps = list(enumerate_strings(target, limit=10, expand_classes=False))
+        assert reps == ["a"]  # one representative for the whole class
+
+
+class TestCounting:
+    def test_count_fixed_length(self):
+        assert count_strings(machine("(a|b)(a|b)"), 2) == 4
+        assert count_strings(machine("(a|b)(a|b)"), 3) == 0
+
+    def test_count_with_classes(self):
+        assert count_strings(Nfa.char_class(ABC.universe, ABC), 1) == 3
+
+    def test_count_empty_string(self):
+        assert count_strings(machine("a*"), 0) == 1
+
+    def test_is_finite(self):
+        assert is_finite(machine("a{1,3}b"))
+        assert not is_finite(machine("a*b"))
+        assert not is_finite(Nfa.universal(ABC))
+        assert is_finite(Nfa.never(ABC))
+
+    def test_epsilon_cycle_is_still_finite(self):
+        target = Nfa(ABC)
+        a, b = target.add_states(2)
+        target.add_epsilon(a, b)
+        target.add_epsilon(b, a)
+        target.starts = {a}
+        target.finals = {b}
+        assert is_finite(target)
+        assert language_size(target) == 1
+
+    def test_language_size(self):
+        assert language_size(machine("a|bb|ccc")) == 3
+        assert language_size(Nfa.never(ABC)) == 0
+        assert language_size(machine("(a|b){2}")) == 4
+
+    def test_language_size_infinite_is_none(self):
+        assert language_size(machine("a+")) is None
+
+    def test_language_size_cap(self):
+        with pytest.raises(ValueError):
+            language_size(machine("(a|b|c){12}"), cap=1000)
+
+
+class TestRandomString:
+    def test_empty_language(self):
+        assert random_string(Nfa.never(ABC)) is None
+
+    def test_members_only(self):
+        target = machine("(ab)+c?")
+        rng = random.Random(7)
+        for _ in range(25):
+            sample = random_string(target, rng)
+            assert sample is None or target.accepts(sample)
+
+    def test_finds_something_for_nonempty(self):
+        target = machine("a")
+        rng = random.Random(3)
+        samples = {random_string(target, rng) for _ in range(10)}
+        assert "a" in samples

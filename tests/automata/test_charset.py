@@ -1,0 +1,201 @@
+"""Unit tests for interval-based character sets."""
+
+import pytest
+
+from repro.automata.charset import MAX_CODEPOINT, CharSet, minterms
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert CharSet.empty().is_empty()
+        assert CharSet.empty().cardinality() == 0
+
+    def test_single(self):
+        cs = CharSet.single("x")
+        assert cs.contains("x")
+        assert not cs.contains("y")
+        assert cs.cardinality() == 1
+
+    def test_single_from_codepoint(self):
+        assert CharSet.single(65).contains("A")
+
+    def test_of_characters(self):
+        cs = CharSet.of("aeiou")
+        assert all(cs.contains(ch) for ch in "aeiou")
+        assert not cs.contains("b")
+        assert cs.cardinality() == 5
+
+    def test_range(self):
+        cs = CharSet.range("a", "z")
+        assert cs.contains("a") and cs.contains("m") and cs.contains("z")
+        assert not cs.contains("A")
+        assert cs.cardinality() == 26
+
+    def test_full(self):
+        assert CharSet.full().cardinality() == MAX_CODEPOINT + 1
+
+    def test_adjacent_intervals_coalesce(self):
+        cs = CharSet([(97, 99), (100, 102)])
+        assert cs.ranges == ((97, 102),)
+
+    def test_overlapping_intervals_coalesce(self):
+        cs = CharSet([(97, 105), (100, 110)])
+        assert cs.ranges == ((97, 110),)
+
+    def test_unsorted_input_normalizes(self):
+        assert CharSet([(110, 115), (97, 99)]).ranges == ((97, 99), (110, 115))
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CharSet([(99, 97)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CharSet([(-1, 5)])
+        with pytest.raises(ValueError):
+            CharSet([(0, MAX_CODEPOINT + 1)])
+
+    def test_immutability(self):
+        cs = CharSet.single("a")
+        with pytest.raises(AttributeError):
+            cs.ranges = ()
+
+
+class TestQueries:
+    def test_contains_binary_search(self):
+        cs = CharSet([(10, 20), (30, 40), (50, 60)])
+        assert cs.contains(10) and cs.contains(40) and cs.contains(55)
+        assert not cs.contains(25) and not cs.contains(61) and not cs.contains(5)
+
+    def test_in_operator(self):
+        assert "q" in CharSet.range("a", "z")
+
+    def test_min_char(self):
+        assert CharSet.of("zmg").min_char() == ord("g")
+
+    def test_min_char_empty_raises(self):
+        with pytest.raises(ValueError):
+            CharSet.empty().min_char()
+
+    def test_sample_is_member(self):
+        cs = CharSet.range("p", "t")
+        assert cs.sample() in cs
+
+    def test_codepoint_iteration_order(self):
+        cs = CharSet([(100, 102), (97, 98)])
+        assert list(cs.codepoints()) == [97, 98, 100, 101, 102]
+
+    def test_len_and_bool(self):
+        assert len(CharSet.of("xy")) == 2
+        assert CharSet.of("x")
+        assert not CharSet.empty()
+
+
+class TestAlgebra:
+    def test_union_disjoint(self):
+        cs = CharSet.range("a", "c") | CharSet.range("x", "z")
+        assert cs.cardinality() == 6
+
+    def test_union_overlapping(self):
+        cs = CharSet.range("a", "m") | CharSet.range("g", "z")
+        assert cs.ranges == ((97, 122),)
+
+    def test_union_identity(self):
+        cs = CharSet.of("ab")
+        assert (cs | CharSet.empty()) == cs
+        assert (CharSet.empty() | cs) == cs
+
+    def test_intersect(self):
+        cs = CharSet.range("a", "m") & CharSet.range("g", "z")
+        assert cs == CharSet.range("g", "m")
+
+    def test_intersect_disjoint_is_empty(self):
+        assert (CharSet.range("a", "c") & CharSet.range("x", "z")).is_empty()
+
+    def test_intersect_multi_interval(self):
+        left = CharSet([(0, 10), (20, 30)])
+        right = CharSet([(5, 25)])
+        assert (left & right).ranges == ((5, 10), (20, 25))
+
+    def test_difference(self):
+        cs = CharSet.range("a", "z") - CharSet.range("f", "h")
+        assert cs.contains("e") and cs.contains("i")
+        assert not cs.contains("g")
+        assert cs.cardinality() == 23
+
+    def test_difference_splits_intervals(self):
+        cs = CharSet([(0, 100)]) - CharSet([(10, 20), (40, 50)])
+        assert cs.ranges == ((0, 9), (21, 39), (51, 100))
+
+    def test_complement_within_universe(self):
+        universe = CharSet.range("a", "e")
+        assert CharSet.of("bd").complement(universe) == CharSet.of("ace")
+
+    def test_subset_checks(self):
+        assert CharSet.of("bc").is_subset(CharSet.range("a", "e"))
+        assert not CharSet.of("bz").is_subset(CharSet.range("a", "e"))
+
+    def test_overlaps(self):
+        assert CharSet.range("a", "m").overlaps(CharSet.range("m", "z"))
+        assert not CharSet.range("a", "l").overlaps(CharSet.range("m", "z"))
+
+    def test_equality_and_hash(self):
+        left = CharSet.of("abc")
+        right = CharSet.range("a", "c")
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+
+class TestFormat:
+    def test_single_char(self):
+        assert CharSet.single("a").format() == "a"
+
+    def test_range_format(self):
+        assert CharSet.range("a", "z").format() == "a-z"
+
+    def test_two_char_range_lists_both(self):
+        assert CharSet.range("a", "b").format() == "ab"
+
+    def test_special_chars_escaped(self):
+        assert "\\-" in CharSet.single("-").format()
+        assert "\\]" in CharSet.single("]").format()
+
+    def test_control_chars_hex(self):
+        assert CharSet.single("\x00").format() == "\\x00"
+
+
+class TestMinterms:
+    def test_disjoint_sets_pass_through(self):
+        blocks = minterms([CharSet.of("ab"), CharSet.of("xy")])
+        assert len(blocks) == 2
+
+    def test_overlap_splits(self):
+        blocks = minterms([CharSet.range("a", "m"), CharSet.range("g", "z")])
+        assert sorted(b.format() for b in blocks) == ["a-f", "g-m", "n-z"]
+
+    def test_blocks_are_disjoint(self):
+        blocks = minterms(
+            [CharSet.range("a", "p"), CharSet.range("f", "z"), CharSet.of("mz")]
+        )
+        for i, left in enumerate(blocks):
+            for right in blocks[i + 1 :]:
+                assert not left.overlaps(right)
+
+    def test_every_input_is_union_of_blocks(self):
+        sets = [CharSet.range("a", "p"), CharSet.range("f", "z"), CharSet.of("dmz")]
+        blocks = minterms(sets)
+        for cs in sets:
+            covered = CharSet.empty()
+            for block in blocks:
+                if block.overlaps(cs):
+                    assert block.is_subset(cs)
+                    covered = covered | block
+            assert covered == cs
+
+    def test_empty_input(self):
+        assert minterms([]) == []
+
+    def test_identical_sets_one_block(self):
+        blocks = minterms([CharSet.of("ab"), CharSet.of("ab")])
+        assert len(blocks) == 1

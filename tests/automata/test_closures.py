@@ -1,0 +1,62 @@
+"""Tests for prefix/suffix/factor closures."""
+
+from repro.automata import (
+    Nfa,
+    factor_closure,
+    is_subset,
+    prefix_closure,
+    suffix_closure,
+)
+
+from ..helpers import ABC, language, machine
+
+
+class TestPrefixClosure:
+    def test_literal(self):
+        closed = prefix_closure(machine("abc"))
+        assert language(closed) == {"", "a", "ab", "abc"}
+
+    def test_contains_original(self):
+        original = machine("(ab)+c?")
+        assert is_subset(original, prefix_closure(original))
+
+    def test_idempotent(self):
+        original = machine("ab|ba")
+        once = prefix_closure(original)
+        twice = prefix_closure(once)
+        assert language(once) == language(twice)
+
+    def test_empty_language(self):
+        assert prefix_closure(Nfa.never(ABC)).is_empty()
+
+    def test_always_contains_epsilon_when_nonempty(self):
+        assert prefix_closure(machine("abc")).accepts("")
+
+
+class TestSuffixClosure:
+    def test_literal(self):
+        closed = suffix_closure(machine("abc"))
+        assert language(closed) == {"", "c", "bc", "abc"}
+
+    def test_contains_original(self):
+        original = machine("a(b|c)+")
+        assert is_subset(original, suffix_closure(original))
+
+    def test_empty_language(self):
+        assert suffix_closure(Nfa.never(ABC)).is_empty()
+
+
+class TestFactorClosure:
+    def test_literal(self):
+        closed = factor_closure(machine("abc"))
+        assert language(closed) == {"", "a", "b", "c", "ab", "bc", "abc"}
+
+    def test_is_prefix_of_suffix(self):
+        original = machine("(ab)+")
+        via_both = prefix_closure(suffix_closure(original))
+        assert language(factor_closure(original)) == language(via_both)
+
+    def test_star_closed(self):
+        # Σ*-like languages are factor-closed already.
+        original = machine("(a|b|c)*")
+        assert language(factor_closure(original)) == language(original)

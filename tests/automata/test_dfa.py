@@ -1,0 +1,114 @@
+"""Unit tests for determinization, complement, and minimization."""
+
+from repro.automata import (
+    Nfa,
+    complement,
+    determinize,
+    equivalent,
+    minimize_dfa,
+    minimize_nfa,
+    ops,
+)
+
+from ..helpers import ABC, all_strings, language, machine
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        for pattern in ("(a|b)*c", "a?b{2,3}", "(ab|ba)+"):
+            source = machine(pattern)
+            dfa = determinize(source)
+            for text in all_strings(ABC, 5):
+                assert dfa.accepts(text) == source.accepts(text), (pattern, text)
+
+    def test_result_is_complete(self):
+        dfa = determinize(machine("ab"))
+        for state in dfa.states:
+            covered = 0
+            for label, _ in dfa.transitions[state]:
+                covered += label.cardinality()
+            assert covered == ABC.universe.cardinality()
+
+    def test_result_is_deterministic(self):
+        dfa = determinize(machine("(a|ab)*"))
+        for state in dfa.states:
+            labels = [label for label, _ in dfa.transitions[state]]
+            for i, left in enumerate(labels):
+                for right in labels[i + 1 :]:
+                    assert not left.overlaps(right)
+
+    def test_empty_language(self):
+        dfa = determinize(Nfa.never(ABC))
+        assert dfa.is_empty()
+
+    def test_to_nfa_roundtrip(self):
+        source = machine("a(b|c)*")
+        back = determinize(source).to_nfa()
+        assert language(back) == language(source)
+
+
+class TestComplement:
+    def test_complement_flips_membership(self):
+        source = machine("a+b")
+        comp = complement(source)
+        for text in all_strings(ABC, 4):
+            assert comp.accepts(text) != source.accepts(text)
+
+    def test_double_complement(self):
+        source = machine("(ab)*")
+        assert equivalent(complement(complement(source)), source)
+
+    def test_complement_of_universal_is_empty(self):
+        assert complement(Nfa.universal(ABC)).is_empty()
+
+    def test_complement_of_empty_is_universal(self):
+        comp = complement(Nfa.never(ABC))
+        assert comp.accepts("") and comp.accepts("abcabc")
+
+
+class TestMinimize:
+    def test_language_preserved(self):
+        source = machine("(a|b)*abb")
+        minimal = minimize_nfa(source)
+        assert language(minimal, 6) == language(source, 6)
+
+    def test_redundant_union_collapses(self):
+        source = ops.union(machine("ab*"), machine("ab*"))
+        minimal = minimize_dfa(determinize(source))
+        # Minimal DFA for ab* over {a,b,c}: start, after-a, sink.
+        assert minimal.num_states == 3
+
+    def test_minimal_dfa_is_canonical_size(self):
+        # (a|b)*abb needs 4 live states + sink over {a,b,c}.
+        minimal = minimize_dfa(determinize(machine("(a|b)*abb")))
+        assert minimal.num_states == 5
+
+    def test_unreachable_states_dropped(self):
+        source = machine("ab")
+        dead = source.copy()
+        dead.add_state()  # unreachable
+        minimal = minimize_dfa(determinize(dead))
+        assert equivalent(minimal.to_nfa(), source)
+
+    def test_minimize_empty_language(self):
+        minimal = minimize_nfa(Nfa.never(ABC))
+        assert minimal.is_empty()
+
+    def test_minimize_idempotent_size(self):
+        dfa = minimize_dfa(determinize(machine("a(b|c)+")))
+        again = minimize_dfa(dfa)
+        assert again.num_states == dfa.num_states
+
+
+class TestDfaApi:
+    def test_delta_total(self):
+        dfa = determinize(machine("ab"))
+        state = dfa.start
+        for ch in "abc":
+            assert dfa.delta(state, ch) in dfa.transitions
+
+    def test_complemented_shares_structure(self):
+        dfa = determinize(machine("a"))
+        comp = dfa.complemented()
+        assert comp.num_states == dfa.num_states
+        assert comp.finals == set(dfa.transitions) - dfa.finals

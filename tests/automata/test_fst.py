@@ -1,0 +1,187 @@
+"""Unit tests for finite-state transducers."""
+
+import pytest
+
+from repro.automata import CharSet, Nfa, equivalent, is_subset
+from repro.automata.fst import (
+    Fst,
+    char_map,
+    delete_chars,
+    escape_chars,
+    identity,
+    image,
+    lowercase,
+    preimage,
+    replace_all,
+)
+
+from ..helpers import ABC, language, machine
+
+
+class TestApply:
+    def test_identity(self):
+        fst = identity(ABC)
+        assert fst.apply_one("abcabc") == "abcabc"
+        assert fst.apply_one("") == ""
+
+    def test_lowercase(self):
+        fst = lowercase()
+        assert fst.apply_one("Hello World!") == "hello world!"
+
+    def test_escape_chars(self):
+        fst = escape_chars(CharSet.of("'\\"))
+        assert fst.apply_one("it's a \\ test") == "it\\'s a \\\\ test"
+        assert fst.apply_one("plain") == "plain"
+
+    def test_delete_chars(self):
+        fst = delete_chars(CharSet.of("b"), ABC)
+        assert fst.apply_one("abcba") == "aca"
+
+    def test_char_map_grouping(self):
+        fst = char_map(lambda cp: "X" if chr(cp) in "ab" else None, ABC)
+        assert fst.apply_one("abcab") == "XXcXX"
+
+
+class TestReplaceAll:
+    @pytest.mark.parametrize(
+        "find,replacement,text",
+        [
+            ("ab", "c", "abab"),
+            ("ab", "c", "aab"),
+            ("ab", "c", "ba"),
+            ("aa", "b", "aaaa"),
+            ("aa", "b", "aaa"),
+            ("abc", "", "aabcc"),
+            ("a", "bb", "aaa"),
+            ("abab", "c", "ababab"),
+            ("ab", "ab", "abab"),
+        ],
+    )
+    def test_matches_python_semantics(self, find, replacement, text):
+        fst = replace_all(find, replacement, ABC)
+        assert fst.apply_one(text) == text.replace(find, replacement)
+
+    def test_pending_buffer_flushed_at_eof(self):
+        fst = replace_all("abc", "c", ABC)
+        assert fst.apply_one("aab") == "aab"  # partial match at end
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            replace_all("", "c", ABC)
+
+    def test_pattern_outside_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            replace_all("xyz", "a", ABC)
+
+
+class TestImage:
+    def test_identity_image(self):
+        target = machine("a(b|c)*")
+        assert equivalent(image(identity(ABC), target), target)
+
+    def test_delete_image(self):
+        fst = delete_chars(CharSet.of("b"), ABC)
+        result = image(fst, machine("ab*c"))
+        assert language(result) == {"ac"}
+
+    def test_escape_image(self):
+        # Escaping b with a: image of {b, cb} is {ab, cab}.
+        fst = escape_chars(CharSet.of("b"), escape="a", alphabet=ABC)
+        result = image(fst, machine("b|cb"))
+        assert language(result) == {"ab", "cab"}
+
+    def test_replace_image(self):
+        fst = replace_all("ab", "c", ABC)
+        result = image(fst, machine("(ab)+"))
+        assert language(result, 4) == {"c", "cc", "ccc", "cccc"}
+
+    def test_image_of_empty_is_empty(self):
+        assert image(identity(ABC), Nfa.never(ABC)).is_empty()
+
+
+class TestPreimage:
+    def test_identity_preimage(self):
+        target = machine("a(b|c)*")
+        assert equivalent(preimage(identity(ABC), target), target)
+
+    def test_escape_preimage(self):
+        # Which inputs produce an output containing "ab"?  Escaping b
+        # with a means every b is preceded by a in the output, so any
+        # input containing b works.
+        fst = escape_chars(CharSet.of("b"), escape="a", alphabet=ABC)
+        result = preimage(fst, machine("(a|b|c)*ab(a|b|c)*"))
+        assert result.accepts("b")
+        assert result.accepts("cbc")
+        assert result.accepts("ab")
+        assert not result.accepts("cc")
+
+    def test_delete_preimage(self):
+        # delete(b) output = "ac"  ⇐  input is b*ab*cb*.
+        fst = delete_chars(CharSet.of("b"), ABC)
+        result = preimage(fst, machine("ac"))
+        assert result.accepts("ac")
+        assert result.accepts("bacb")
+        assert result.accepts("abbc")
+        assert not result.accepts("a")
+
+    def test_replace_preimage(self):
+        # replace(ab→c): which inputs yield exactly "cc"?
+        fst = replace_all("ab", "c", ABC)
+        result = preimage(fst, machine("cc"))
+        assert result.accepts("abab")
+        assert result.accepts("cab")
+        assert result.accepts("abc")
+        assert result.accepts("cc")
+        assert not result.accepts("ab")
+
+    def test_preimage_soundness_roundtrip(self):
+        # w ∈ preimage(T, L) ⇔ T(w) ∈ L, checked pointwise.
+        fst = replace_all("ab", "c", ABC)
+        target = machine("c*")
+        pre = preimage(fst, target)
+        from ..helpers import all_strings
+
+        for text in all_strings(ABC, 4):
+            assert pre.accepts(text) == target.accepts(fst.apply_one(text)), text
+
+    def test_empty_preimage_proves_sanitizer(self):
+        # addslashes-style escaping: the output never contains a quote
+        # that is not preceded by a backslash, so the "unescaped quote"
+        # attack language has an empty preimage.
+        from repro.automata import BYTE_ALPHABET
+        from repro.regex import parse_exact, to_nfa
+
+        fst = escape_chars(CharSet.of("'\\"))
+        unescaped_quote = to_nfa(
+            parse_exact(r"([^\\]|\\.)*[^\\]'.*|'.*"), BYTE_ALPHABET
+        )
+        pre = preimage(fst, unescaped_quote)
+        assert pre.is_empty()
+
+    def test_nondeterministic_target(self):
+        fst = identity(ABC)
+        target = machine("(a|ab)(c|bc)")
+        assert equivalent(preimage(fst, target), target)
+
+
+class TestFstBasics:
+    def test_bad_state_rejected(self):
+        fst = Fst(ABC)
+        fst.add_state()
+        with pytest.raises(ValueError):
+            fst.add_edge(0, CharSet.of("a"), 42)
+
+    def test_rejecting_input(self):
+        fst = Fst(ABC)
+        state = fst.add_state()
+        fst.add_edge(state, CharSet.of("a"), state, copy=True)
+        fst.set_final(state)
+        assert fst.apply("b") == set()
+        assert fst.apply_one("b") is None
+
+    def test_final_output_flush(self):
+        fst = Fst(ABC)
+        state = fst.add_state()
+        fst.add_edge(state, CharSet.of("a"), state, copy=True)
+        fst.set_final(state, flush="!")
+        assert fst.apply_one("aa") == "aa!"

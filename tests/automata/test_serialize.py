@@ -1,0 +1,77 @@
+"""Unit tests for DOT / table / JSON serialization."""
+
+from repro.automata import (
+    BridgeTag,
+    Nfa,
+    equivalent,
+    from_json,
+    ops,
+    to_dot,
+    to_json,
+    to_table,
+)
+
+from ..helpers import ABC, machine
+
+
+class TestDot:
+    def test_contains_all_states(self):
+        target = machine("ab")
+        dot = to_dot(target)
+        for state in target.states:
+            assert f"s{state}" in dot
+
+    def test_finals_are_double_circles(self):
+        dot = to_dot(machine("a"))
+        assert "doublecircle" in dot
+
+    def test_epsilon_edges_dashed(self):
+        target = ops.concat(Nfa.literal("a", ABC), Nfa.literal("b", ABC))
+        assert "style=dashed" in to_dot(target)
+
+    def test_bridge_tag_labelled(self):
+        tag = BridgeTag("mybridge")
+        target = ops.concat(Nfa.literal("a", ABC), Nfa.literal("b", ABC), tag)
+        assert "mybridge" in to_dot(target)
+
+    def test_valid_digraph_syntax(self):
+        dot = to_dot(machine("(a|b)c"))
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+
+
+class TestTable:
+    def test_mentions_counts(self):
+        table = to_table(machine("ab"))
+        assert "states:" in table and "finals:" in table
+
+    def test_shows_transitions(self):
+        table = to_table(Nfa.literal("x", ABC))
+        assert "--x-->" in table
+
+
+class TestJsonRoundtrip:
+    def test_language_preserved(self):
+        target = machine("(ab|c)*a?")
+        restored = from_json(to_json(target))
+        assert equivalent(restored, target)
+
+    def test_alphabet_preserved(self):
+        restored = from_json(to_json(machine("a")))
+        assert restored.alphabet.universe == ABC.universe
+
+    def test_bridge_tags_survive(self):
+        tag = BridgeTag("cross")
+        target = ops.concat(Nfa.literal("a", ABC), Nfa.literal("b", ABC), tag)
+        restored = from_json(to_json(target))
+        labels = {e.tag.label for _, e in restored.edges() if e.tag is not None}
+        assert "cross" in labels
+
+    def test_empty_language_roundtrip(self):
+        restored = from_json(to_json(Nfa.never(ABC)))
+        assert restored.is_empty()
+
+    def test_start_final_markings(self):
+        target = machine("ab?")
+        restored = from_json(to_json(target))
+        assert len(restored.starts) == len(target.starts)
+        assert len(restored.finals) == len(target.finals)

@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Registers a deterministic hypothesis profile so property-test failures
+reproduce across runs and machines (individual suites still override
+``max_examples`` where the workload warrants it).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

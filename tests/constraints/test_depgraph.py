@@ -1,0 +1,151 @@
+"""Unit tests for dependency-graph generation (paper Fig. 5)."""
+
+import pytest
+
+from repro.constraints import ConcatTerm, Const, Node, Problem, Subset, Var, build_graph
+
+from ..helpers import ABC
+
+
+def _const(name: str, pattern: str) -> Const:
+    return Const.from_regex(name, pattern, ABC)
+
+
+def problem_of(*constraints: Subset) -> Problem:
+    return Problem(list(constraints), alphabet=ABC)
+
+
+class TestGeneration:
+    def test_simple_subset(self):
+        # v1 ⊆ c1: one var node, one const node, one ⊆-edge.
+        graph, var_nodes = build_graph(problem_of(Subset(Var("v1"), _const("c1", "a*"))))
+        assert Node("var", "v1") in graph.nodes
+        assert Node("const", "c1") in graph.nodes
+        assert len(graph.subset_edges) == 1
+        assert not graph.concat_pairs
+        assert var_nodes["v1"] == Node("var", "v1")
+
+    def test_concat_creates_fresh_temp(self):
+        constraint = Subset(Var("a").concat(Var("b")), _const("c", "x*"))
+        graph, _ = build_graph(problem_of(constraint))
+        temps = [n for n in graph.nodes if n.is_temp]
+        assert len(temps) == 1
+        pair = graph.concat_pairs[0]
+        assert pair.left == Node("var", "a")
+        assert pair.right == Node("var", "b")
+        assert pair.result == temps[0]
+
+    def test_subset_edge_targets_concat_temp(self):
+        constraint = Subset(Var("a").concat(Var("b")), _const("c", "x*"))
+        graph, _ = build_graph(problem_of(constraint))
+        edge = graph.subset_edges[0]
+        assert edge.source == Node("const", "c")
+        assert edge.target.is_temp
+
+    def test_nary_concat_folds_left(self):
+        term = ConcatTerm((Var("a"), Var("b"), Var("c")))
+        graph, _ = build_graph(problem_of(Subset(term, _const("c4", "x*"))))
+        assert len(graph.concat_pairs) == 2
+        first, second = graph.concat_pairs
+        assert second.left == first.result  # left-associative
+
+    def test_repeated_concats_get_distinct_temps(self):
+        c = _const("c", "x*")
+        constraints = [
+            Subset(Var("a").concat(Var("b")), c),
+            Subset(Var("a").concat(Var("b")), c),
+        ]
+        graph, _ = build_graph(problem_of(*constraints))
+        assert len({p.result for p in graph.concat_pairs}) == 2
+
+    def test_shared_node_for_repeated_variable(self):
+        c = _const("c", "x*")
+        graph, _ = build_graph(
+            problem_of(Subset(Var("v"), c), Subset(Var("v").concat(Var("w")), c))
+        )
+        var_count = sum(1 for n in graph.nodes if n == Node("var", "v"))
+        assert var_count == 1
+
+    def test_motivating_example_shape(self):
+        # Fig. 6: v1 ⊆ c1; c2 · v1 ⊆ c3 — two ⊆-edges, one ·-pair.
+        c1 = _const("c1", "a+")
+        c2 = _const("c2", "b")
+        c3 = _const("c3", "ba+")
+        graph, _ = build_graph(
+            problem_of(Subset(Var("v1"), c1), Subset(c2.concat(Var("v1")), c3))
+        )
+        assert len(graph.subset_edges) == 2
+        assert len(graph.concat_pairs) == 1
+        assert graph.concat_pairs[0].left == Node("const", "c2")
+
+
+class TestQueries:
+    def make_fig9_graph(self):
+        a = _const("A", "a+")
+        b = _const("B", "b+")
+        c1 = _const("c1", "(a|b)*")
+        c2 = _const("c2", "(b|c)*")
+        constraints = [
+            Subset(Var("va"), a),
+            Subset(Var("vb"), b),
+            Subset(Var("va").concat(Var("vb")), c1),
+            Subset(Var("vb").concat(Var("vc")), c2),
+        ]
+        return build_graph(problem_of(*constraints))[0]
+
+    def test_inbound_subsets(self):
+        graph = self.make_fig9_graph()
+        assert graph.inbound_subsets(Node("var", "va")) == [Node("const", "A")]
+        assert graph.inbound_subsets(Node("var", "vc")) == []
+
+    def test_ci_groups_connected_through_shared_var(self):
+        graph = self.make_fig9_graph()
+        groups = graph.ci_groups()
+        assert len(groups) == 1  # vb links both concatenations
+        (group,) = groups
+        assert Node("var", "va") in group
+        assert Node("var", "vc") in group
+
+    def test_ci_groups_disjoint_systems(self):
+        c = _const("c", "x*")
+        constraints = [
+            Subset(Var("a").concat(Var("b")), c),
+            Subset(Var("x").concat(Var("y")), c),
+        ]
+        graph, _ = build_graph(problem_of(*constraints))
+        assert len(graph.ci_groups()) == 2
+
+    def test_nodes_without_concat_not_grouped(self):
+        graph, _ = build_graph(problem_of(Subset(Var("v"), _const("c", "a"))))
+        assert graph.ci_groups() == []
+
+    def test_group_temps_topological(self):
+        term = ConcatTerm((Var("a"), Var("b"), Var("c")))
+        graph, _ = build_graph(problem_of(Subset(term, _const("c4", "x*"))))
+        (group,) = graph.ci_groups()
+        ordered = graph.group_temps_in_order(group)
+        assert len(ordered) == 2
+        inner, outer = ordered
+        assert graph.concat_of(outer).left == inner
+
+    def test_top_temps(self):
+        term = ConcatTerm((Var("a"), Var("b"), Var("c")))
+        graph, _ = build_graph(problem_of(Subset(term, _const("c4", "x*"))))
+        (group,) = graph.ci_groups()
+        tops = graph.top_temps(group)
+        assert len(tops) == 1
+        assert graph.inbound_subsets(tops[0]) == [Node("const", "c4")]
+
+    def test_machine_accessor_requires_const(self):
+        graph, _ = build_graph(problem_of(Subset(Var("v"), _const("c", "a"))))
+        with pytest.raises(ValueError):
+            graph.machine(Node("var", "v"))
+
+    def test_concats_using(self):
+        graph = self.make_fig9_graph()
+        uses = graph.concats_using(Node("var", "vb"))
+        assert len(uses) == 2
+
+    def test_bad_node_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Node("thing", "x")

@@ -1,0 +1,35 @@
+"""Tests for dependency-graph DOT rendering (paper Fig. 6 analogue)."""
+
+from repro.constraints import parse_problem, build_graph
+
+
+def graph_of(text: str):
+    return build_graph(parse_problem(text))[0]
+
+
+class TestToDot:
+    def test_motivating_example_shape(self):
+        graph = graph_of(
+            """
+            var v1;
+            v1 <= m/[0-9]+$/;
+            "nid_" . v1 <= m/'/;
+            """
+        )
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert '"v1"' in dot
+        assert "shape=diamond" in dot  # the concat temp
+        assert "shape=box" in dot  # constants
+        assert "·l" in dot and "·r" in dot
+        assert "⊆" in dot
+
+    def test_every_node_rendered(self):
+        graph = graph_of("var a, b;\na . b <= /x*/;")
+        dot = graph.to_dot()
+        for node in graph.nodes:
+            assert f'"{node.name}"' in dot
+
+    def test_custom_name(self):
+        graph = graph_of('var a;\na <= "x";')
+        assert graph.to_dot(name="fig6").startswith("digraph fig6")

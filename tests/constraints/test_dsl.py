@@ -1,0 +1,98 @@
+"""Unit tests for the constraint-file DSL."""
+
+import pytest
+
+from repro.constraints import ConcatTerm, Const, DslError, Var, parse_problem
+
+
+class TestParsing:
+    def test_minimal(self):
+        problem = parse_problem('var v;\nv <= "abc";')
+        assert len(problem) == 1
+        assert problem.variables() == [Var("v")]
+
+    def test_multiple_var_declaration(self):
+        problem = parse_problem('var a, b;\na <= "x";\nb <= "y";')
+        assert [v.name for v in problem.variables()] == ["a", "b"]
+
+    def test_named_constant(self):
+        problem = parse_problem('var v;\nlet c := /a+/;\nv <= c;')
+        assert problem.constraints[0].rhs.name == "c"
+        assert problem.constraints[0].rhs.machine.accepts("aaa")
+
+    def test_string_constant(self):
+        problem = parse_problem('var v;\nv <= "he\\"llo";')
+        assert problem.constraints[0].rhs.machine.accepts('he"llo')
+
+    def test_language_regex_rejects_anchors(self):
+        with pytest.raises(Exception):
+            parse_problem("var v;\nv <= /^a/;")
+
+    def test_match_regex_allows_anchors(self):
+        problem = parse_problem(r"var v;  v <= m/[\d]+$/;")
+        machine = problem.constraints[0].rhs.machine
+        assert machine.accepts("abc123")
+        assert not machine.accepts("123abc")
+
+    def test_concatenation_expression(self):
+        problem = parse_problem('var a, b;\na . "mid" . b <= m/x/;')
+        lhs = problem.constraints[0].lhs
+        assert isinstance(lhs, ConcatTerm)
+        assert len(lhs.parts) == 3
+
+    def test_anonymous_constants_deduplicated(self):
+        problem = parse_problem('var a, b;\na <= "k";\nb <= "k";')
+        consts = {c.name for c in problem.constants()}
+        assert len(consts) == 1
+
+    def test_comments_ignored(self):
+        problem = parse_problem(
+            "# leading comment\nvar v; // trailing\nv <= \"a\"; # done\n"
+        )
+        assert len(problem) == 1
+
+    def test_let_alias(self):
+        problem = parse_problem(
+            'let base := /a+/;\nlet alias := base;\nvar v;\nv <= alias;'
+        )
+        assert problem.constraints[0].rhs.machine.accepts("aa")
+
+
+class TestErrors:
+    def test_undeclared_name(self):
+        with pytest.raises(DslError) as info:
+            parse_problem('var v;\nv <= w;')
+        assert "undeclared" in str(info.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(DslError):
+            parse_problem('var v;\nv <= "a"')
+
+    def test_no_constraints(self):
+        with pytest.raises(DslError):
+            parse_problem("var v;")
+
+    def test_variable_rhs_rejected(self):
+        with pytest.raises(DslError):
+            parse_problem("var v, w;\nv <= w;")
+
+    def test_redefined_constant(self):
+        with pytest.raises(DslError):
+            parse_problem('let c := "a";\nlet c := "b";\nvar v;\nv <= c;')
+
+    def test_name_clash_var_const(self):
+        with pytest.raises(DslError):
+            parse_problem('var x;\nlet x := "a";\nx <= x;')
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslError):
+            parse_problem('var v;\nv <= "abc;')
+
+    def test_unterminated_regex(self):
+        with pytest.raises(DslError):
+            parse_problem("var v;\nv <= /ab;")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(DslError) as info:
+            parse_problem('var v;\nv <= "a";\nv <= nothere;')
+        assert info.value.line == 3

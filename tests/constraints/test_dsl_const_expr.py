@@ -1,0 +1,82 @@
+"""Tests for constant expressions in the DSL (union / intersection / concat)."""
+
+import pytest
+
+from repro.automata import enumerate_strings, equivalent
+from repro.constraints import DslError, parse_problem
+
+from ..helpers import machine
+
+
+def const_machine(text: str):
+    problem = parse_problem(text)
+    return problem.constraints[0].rhs.machine
+
+
+class TestConstExpressions:
+    def test_union(self):
+        result = const_machine('let c := "aa" | "bb";\nvar v;\nv <= c;')
+        assert result.accepts("aa") and result.accepts("bb")
+        assert not result.accepts("ab")
+
+    def test_intersection(self):
+        result = const_machine(
+            "let c := /[0-9]+/ & /([0-9][0-9])+/;\nvar v;\nv <= c;"
+        )
+        assert result.accepts("12") and result.accepts("1234")
+        assert not result.accepts("1")
+
+    def test_concat_in_definition(self):
+        result = const_machine('let c := "id-" . /[0-9]+/;\nvar v;\nv <= c;')
+        assert result.accepts("id-42")
+        assert not result.accepts("42")
+
+    def test_precedence_union_loosest(self):
+        # a . b | c  parses as  (a . b) | c.
+        result = const_machine('let c := "a" . "b" | "c";\nvar v;\nv <= c;')
+        assert result.accepts("ab") and result.accepts("c")
+        assert not result.accepts("ac")
+
+    def test_precedence_inter_over_union(self):
+        # x | y & z  parses as  x | (y & z).
+        result = const_machine(
+            'let c := "x" | /y+/ & /yy/;\nvar v;\nv <= c;'
+        )
+        assert result.accepts("x") and result.accepts("yy")
+        assert not result.accepts("y")
+
+    def test_parentheses(self):
+        result = const_machine(
+            'let c := ("a" | "b") . ("c" | "d");\nvar v;\nv <= c;'
+        )
+        assert {w for w in enumerate_strings(result, limit=10)} == {
+            "ac", "ad", "bc", "bd",
+        }
+
+    def test_named_references(self):
+        problem = parse_problem(
+            """
+            let digits := /[0-9]+/;
+            let signed := "-" . digits | digits;
+            var v;
+            v <= signed;
+            """
+        )
+        result = problem.constraints[0].rhs.machine
+        assert result.accepts("-42") and result.accepts("7")
+        assert not result.accepts("-")
+
+    def test_match_regex_in_expression(self):
+        result = const_machine("let c := m/x$/ & /a*x/;\nvar v;\nv <= c;")
+        assert result.accepts("aax")
+        assert not result.accepts("bx")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(DslError):
+            parse_problem('let c := ("a" | "b";\nvar v;\nv <= c;')
+
+    def test_empty_intersection_is_unsat_constraint(self):
+        from repro.solver import solve
+
+        problem = parse_problem('let c := "a" & "b";\nvar v;\nv <= c;')
+        assert not solve(problem).satisfiable

@@ -1,0 +1,63 @@
+"""Tests for rendering problems back to DSL text."""
+
+from repro.automata import Nfa, equivalent
+from repro.constraints import Const, Problem, Subset, Var, format_problem, parse_problem
+from repro.solver import solve
+
+
+def roundtrip(text: str) -> tuple[Problem, Problem]:
+    original = parse_problem(text)
+    return original, parse_problem(format_problem(original))
+
+
+class TestFormatProblem:
+    def test_structure_preserved(self):
+        original, rebuilt = roundtrip(
+            'var a, b;\na <= /x+/;\na . b <= "xy";'
+        )
+        assert len(rebuilt) == len(original)
+        assert [v.name for v in rebuilt.variables()] == ["a", "b"]
+
+    def test_constraint_languages_equivalent(self):
+        original, rebuilt = roundtrip(
+            """
+            var v1;
+            v1 <= m/[0-9]+$/;
+            "nid_" . v1 <= m/'/;
+            """
+        )
+        for before, after in zip(original.constraints, rebuilt.constraints):
+            assert equivalent(before.rhs.machine, after.rhs.machine)
+
+    def test_solutions_match(self):
+        original, rebuilt = roundtrip(
+            """
+            var v1, v2;
+            v1 <= /x(yy)+/;
+            v2 <= /(yy)*z/;
+            v1 . v2 <= /xyyz|xyyyyz/;
+            """
+        )
+        first = solve(original)
+        second = solve(rebuilt)
+        assert len(first) == len(second)
+        for left, right in zip(first, second):
+            assert left.same_languages(right)
+
+    def test_slash_in_literal(self):
+        original, rebuilt = roundtrip('var v;\nv <= "a/b";')
+        assert rebuilt.constraints[0].rhs.machine.accepts("a/b")
+
+    def test_empty_language_constant(self):
+        problem = Problem([Subset(Var("z"), Const("dead", Nfa.never()))])
+        rebuilt = parse_problem(format_problem(problem))
+        assert rebuilt.constraints[0].rhs.machine.is_empty()
+
+    def test_anonymous_constants_renamed(self):
+        original, rebuilt = roundtrip('var v;\nv <= "x";')
+        names = {c.name for c in rebuilt.constants()}
+        assert all(name.startswith("k") for name in names)
+
+    def test_output_is_commented(self):
+        problem = parse_problem('var v;\nv <= "x";')
+        assert format_problem(problem).startswith("#")

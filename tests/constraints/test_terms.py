@@ -1,0 +1,93 @@
+"""Unit tests for the constraint term model."""
+
+import pytest
+
+from repro.constraints import ConcatTerm, Const, Problem, Subset, Var
+
+from ..helpers import ABC
+
+
+class TestVar:
+    def test_identity_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_str(self):
+        assert str(Var("v1")) == "v1"
+
+
+class TestConst:
+    def test_from_regex(self):
+        const = Const.from_regex("c", "a+", ABC)
+        assert const.machine.accepts("aa")
+        assert not const.machine.accepts("")
+        assert const.source == "/a+/"
+
+    def test_from_literal(self):
+        const = Const.from_literal("c", "ab", ABC)
+        assert const.machine.accepts("ab")
+        assert not const.machine.accepts("a")
+
+    def test_identity_by_name(self):
+        left = Const.from_regex("c", "a", ABC)
+        right = Const.from_regex("c", "a", ABC)
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestConcatTerm:
+    def test_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            ConcatTerm((Var("x"),))
+
+    def test_concat_method_flattens(self):
+        term = Var("a").concat(Var("b")).concat(Var("c"))
+        assert isinstance(term, ConcatTerm)
+        assert len(term.parts) == 3
+
+    def test_str(self):
+        term = Var("a").concat(Const.from_literal("c", "x", ABC))
+        assert str(term) == "a . c"
+
+
+class TestSubset:
+    def test_variables_iteration(self):
+        constraint = Subset(Var("a").concat(Var("b")), Const.from_regex("c", "x", ABC))
+        assert [v.name for v in constraint.variables()] == ["a", "b"]
+
+    def test_constants_includes_rhs(self):
+        lhs_const = Const.from_literal("k", "x", ABC)
+        constraint = Subset(lhs_const.concat(Var("v")), Const.from_regex("c", "x", ABC))
+        names = [c.name for c in constraint.constants()]
+        assert names == ["k", "c"]
+
+
+class TestProblem:
+    def test_requires_constraints(self):
+        with pytest.raises(ValueError):
+            Problem([], alphabet=ABC)
+
+    def test_variables_in_first_occurrence_order(self):
+        c = Const.from_regex("c", "a*", ABC)
+        problem = Problem(
+            [Subset(Var("z"), c), Subset(Var("a").concat(Var("z")), c)],
+            alphabet=ABC,
+        )
+        assert [v.name for v in problem.variables()] == ["z", "a"]
+
+    def test_duplicate_const_names_must_share_machine(self):
+        first = Const.from_regex("c", "a", ABC)
+        second = Const.from_regex("c", "b", ABC)  # same name, other language
+        with pytest.raises(ValueError):
+            Problem([Subset(Var("x"), first), Subset(Var("y"), second)], alphabet=ABC)
+
+    def test_alphabet_mismatch_rejected(self):
+        const = Const.from_regex("c", "a")  # byte alphabet
+        with pytest.raises(ValueError):
+            Problem([Subset(Var("x"), const)], alphabet=ABC)
+
+    def test_len_and_str(self):
+        c = Const.from_regex("c", "a", ABC)
+        problem = Problem([Subset(Var("x"), c)], alphabet=ABC)
+        assert len(problem) == 1
+        assert "x ⊆ c" in str(problem)

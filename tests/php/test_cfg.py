@@ -1,0 +1,111 @@
+"""Unit tests for CFG construction and path enumeration."""
+
+import pytest
+
+from repro.php.cfg import build_cfg
+from repro.php.parser import parse_php
+
+
+def cfg_of(source: str):
+    return build_cfg(parse_php(source))
+
+
+class TestBlockCounts:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of("$a = '1'; $b = '2'; $c = $a . $b;")
+        assert cfg.num_blocks == 1
+
+    def test_if_without_else_adds_two(self):
+        cfg = cfg_of("$a = '1'; if ($a == 'x') { $b = '2'; } $c = '3';")
+        assert cfg.num_blocks == 3  # entry, then, join
+
+    def test_if_else_adds_three(self):
+        cfg = cfg_of("if ($a == 'x') { $b = '1'; } else { $b = '2'; } $c = '3';")
+        assert cfg.num_blocks == 4  # entry, then, else, join
+
+    def test_sequential_guards_accumulate(self):
+        source = "".join(
+            f"if ($a == '{i}') {{ exit; }}\n" for i in range(5)
+        ) + "$done = '1';"
+        cfg = cfg_of(source)
+        assert cfg.num_blocks == 1 + 2 * 5
+
+    def test_nested_ifs(self):
+        cfg = cfg_of(
+            "if ($a == 'x') { if ($b == 'y') { $c = '1'; } } $d = '2';"
+        )
+        assert cfg.num_blocks == 5
+
+    def test_figure1_shape(self):
+        cfg = cfg_of(
+            r"""
+            $newsid = $_POST['posted_newsid'];
+            if (!preg_match('/[\d]+$/', $newsid)) {
+                unp_msgBox('Invalid article news ID.');
+                exit;
+            }
+            $newsid = "nid_$newsid";
+            $idnews = query("SELECT * FROM news WHERE newsid=$newsid");
+            """
+        )
+        assert cfg.num_blocks == 3
+
+
+class TestEdges:
+    def test_branch_successors(self):
+        cfg = cfg_of("if ($a == 'x') { $b = '1'; } $c = '2';")
+        entry = cfg.block(cfg.entry)
+        assert entry.condition is not None
+        assert entry.true_successor is not None
+        assert entry.false_successor is not None
+
+    def test_exit_is_terminal(self):
+        cfg = cfg_of("if ($a == 'x') { exit; } $c = '2';")
+        entry = cfg.block(cfg.entry)
+        then_block = cfg.block(entry.true_successor)
+        assert then_block.is_terminal
+
+    def test_unreachable_code_after_exit(self):
+        cfg = cfg_of("exit; $never = '1';")
+        # The dead statement lives in a block with no predecessors.
+        entry = cfg.block(cfg.entry)
+        assert entry.is_terminal
+
+
+class TestPaths:
+    def test_straight_line_single_path(self):
+        cfg = cfg_of("$a = '1';")
+        assert list(cfg.paths()) == [[0]]
+
+    def test_branch_two_paths(self):
+        cfg = cfg_of("if ($a == 'x') { $b = '1'; } $c = '2';")
+        assert len(list(cfg.paths())) == 2
+
+    def test_guard_paths_linear_not_exponential(self):
+        source = "".join(
+            f"if ($a == '{i}') {{ exit; }}\n" for i in range(10)
+        ) + "$done = '1';"
+        cfg = cfg_of(source)
+        assert len(list(cfg.paths())) == 11  # one per guard + fall-through
+
+    def test_diamond_paths_multiply(self):
+        source = (
+            "if ($a == 'x') { $b = '1'; } else { $b = '2'; }\n"
+            "if ($c == 'y') { $d = '1'; } else { $d = '2'; }\n"
+        )
+        cfg = cfg_of(source)
+        assert len(list(cfg.paths())) == 4
+
+    def test_max_paths_cap(self):
+        source = "".join(
+            f"if ($a == '{i}') {{ $b = '1'; }} else {{ $b = '2'; }}\n"
+            for i in range(8)
+        )
+        cfg = cfg_of(source)
+        assert len(list(cfg.paths(max_paths=5))) == 5
+
+    def test_paths_start_at_entry_end_at_terminal(self):
+        cfg = cfg_of("if ($a == 'x') { exit; } $c = '2';")
+        for path in cfg.paths():
+            assert path[0] == cfg.entry
+            assert cfg.block(path[-1]).is_terminal

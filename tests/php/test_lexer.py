@@ -1,0 +1,92 @@
+"""Unit tests for the mini-PHP lexer."""
+
+import pytest
+
+from repro.php.lexer import PhpSyntaxError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind != "end"]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "end"]
+
+
+class TestBasics:
+    def test_php_tags_skipped(self):
+        assert kinds("<?php $x = 1; ?>") == ["variable", "punct", "int", "punct"]
+
+    def test_variable(self):
+        (token,) = [t for t in tokenize("$newsid") if t.kind == "variable"]
+        assert token.value == "newsid"
+
+    def test_lone_dollar_rejected(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("$ x")
+
+    def test_identifier_and_keywords(self):
+        assert values("if else exit") == ["if", "else", "exit"]
+
+    def test_integers(self):
+        assert kinds("42") == ["int"]
+
+    def test_multi_char_punct(self):
+        assert values("== != === !== && || .=") == [
+            "==", "!=", "===", "!==", "&&", "||", ".=",
+        ]
+
+    def test_line_numbers(self):
+        tokens = tokenize("$a;\n$b;\n$c;")
+        lines = [t.line for t in tokens if t.kind == "variable"]
+        assert lines == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("$a = `whoami`;")
+
+
+class TestComments:
+    def test_line_comments(self):
+        assert kinds("// hi\n$a; # there\n$b;") == [
+            "variable", "punct", "variable", "punct",
+        ]
+
+    def test_block_comment(self):
+        assert kinds("/* multi\nline */ $a;") == ["variable", "punct"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("/* oops")
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* a\nb\nc */ $x;")
+        assert tokens[0].line == 3
+
+
+class TestStrings:
+    def test_single_quoted_plain(self):
+        (token,) = [t for t in tokenize("'hello'") if t.kind == "string"]
+        assert token.value == "hello"
+
+    def test_single_quoted_escapes(self):
+        (token,) = [t for t in tokenize(r"'it\'s \\'") if t.kind == "string"]
+        assert token.value == "it's \\"
+
+    def test_single_quoted_no_interpolation(self):
+        (token,) = [t for t in tokenize("'$var'") if t.kind == "string"]
+        assert token.value == "$var"
+
+    def test_double_quoted_raw(self):
+        (token,) = [t for t in tokenize('"nid_$newsid"') if t.kind == "dstring"]
+        assert token.value == "nid_$newsid"
+
+    def test_double_quoted_escaped_quote(self):
+        (token,) = [t for t in tokenize(r'"say \"hi\""') if t.kind == "dstring"]
+        assert token.value == r"say \"hi\""
+
+    def test_unterminated_string(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("'oops")
+        with pytest.raises(PhpSyntaxError):
+            tokenize('"oops')

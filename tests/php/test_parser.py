@@ -1,0 +1,187 @@
+"""Unit tests for the mini-PHP parser."""
+
+import pytest
+
+from repro.php.ast import (
+    Assign,
+    BoolOp,
+    Call,
+    Compare,
+    ConcatExpr,
+    Echo,
+    Exit,
+    ExprStmt,
+    If,
+    InputRef,
+    Not,
+    PregMatch,
+    StringLit,
+    VarRef,
+)
+from repro.php.lexer import PhpSyntaxError
+from repro.php.parser import parse_php
+
+
+def stmts(source: str):
+    return parse_php(source).body.statements
+
+
+def first(source: str):
+    return stmts(source)[0]
+
+
+class TestStatements:
+    def test_assignment(self):
+        node = first("$x = 'hi';")
+        assert isinstance(node, Assign)
+        assert node.target == "x"
+        assert node.value == StringLit(1, "hi")
+
+    def test_compound_assignment_desugars(self):
+        node = first("$q .= 'tail';")
+        assert isinstance(node, Assign)
+        assert isinstance(node.value, ConcatExpr)
+        assert node.value.parts[0] == VarRef(1, "q")
+
+    def test_if_else(self):
+        node = first("if ($a == 'x') { exit; } else { $b = 'y'; }")
+        assert isinstance(node, If)
+        assert isinstance(node.then_body.statements[0], Exit)
+        assert isinstance(node.else_body.statements[0], Assign)
+
+    def test_if_without_braces(self):
+        node = first("if ($a == 'x') exit;")
+        assert isinstance(node.then_body.statements[0], Exit)
+
+    def test_elseif_desugars(self):
+        node = first(
+            "if ($a == 'x') { exit; } elseif ($a == 'y') { exit; } else { $b = '1'; }"
+        )
+        nested = node.else_body.statements[0]
+        assert isinstance(nested, If)
+        assert nested.else_body is not None
+
+    def test_exit_with_message(self):
+        node = first("exit('bye');")
+        assert isinstance(node, Exit)
+
+    def test_die_is_exit(self):
+        assert isinstance(first("die;"), Exit)
+
+    def test_echo(self):
+        node = first("echo 'hi';")
+        assert isinstance(node, Echo)
+
+    def test_expression_statement(self):
+        node = first("query('SELECT 1');")
+        assert isinstance(node, ExprStmt)
+        assert isinstance(node.expr, Call)
+
+    def test_line_numbers_preserved(self):
+        program = parse_php("$a = '1';\n\n$b = '2';")
+        lines = [s.line for s in program.body.statements]
+        assert lines == [1, 3]
+
+
+class TestExpressions:
+    def test_concat_flattens(self):
+        node = first("$x = 'a' . $b . 'c';").value
+        assert isinstance(node, ConcatExpr)
+        assert len(node.parts) == 3
+
+    def test_input_ref(self):
+        node = first("$x = $_POST['key'];").value
+        assert node == InputRef(1, "POST", "key")
+        assert node.input_name == "post_key"
+
+    def test_get_request_cookie(self):
+        for array, source in (("_GET", "GET"), ("_REQUEST", "REQUEST"), ("_COOKIE", "COOKIE")):
+            node = first(f"$x = ${array}['k'];").value
+            assert node.source == source
+
+    def test_preg_match_special_form(self):
+        node = first(r"if (preg_match('/[\d]+$/', $id)) exit;").condition
+        assert isinstance(node, PregMatch)
+        assert node.pattern == r"/[\d]+$/"
+        assert node.subject == VarRef(1, "id")
+
+    def test_preg_match_needs_literal_pattern(self):
+        with pytest.raises(PhpSyntaxError):
+            parse_php("if (preg_match($p, $x)) exit;")
+
+    def test_comparison_ops(self):
+        node = first("if ($a === 'x') exit;").condition
+        assert isinstance(node, Compare) and node.op == "=="
+        node = first("if ($a !== 'x') exit;").condition
+        assert node.op == "!="
+
+    def test_boolean_operators(self):
+        node = first("if ($a == 'x' && !$b) exit;").condition
+        assert isinstance(node, BoolOp) and node.op == "and"
+        assert isinstance(node.right, Not)
+
+    def test_or_operator(self):
+        node = first("if ($a == 'x' || $b == 'y') exit;").condition
+        assert isinstance(node, BoolOp) and node.op == "or"
+
+    def test_call_arguments(self):
+        node = first("log_msg('a', $b, 'c');").expr
+        assert isinstance(node, Call)
+        assert len(node.args) == 3
+
+    def test_int_coerces_to_string_literal(self):
+        node = first("$x = 5;").value
+        assert node == StringLit(1, "5")
+
+    def test_parenthesized(self):
+        node = first("if (($a == 'x')) exit;").condition
+        assert isinstance(node, Compare)
+
+
+class TestInterpolation:
+    def test_simple_variable(self):
+        node = first('$q = "nid_$newsid";').value
+        assert isinstance(node, ConcatExpr)
+        assert node.parts == (StringLit(1, "nid_"), VarRef(1, "newsid"))
+
+    def test_variable_in_middle(self):
+        node = first('$q = "a ${x} b";').value
+        assert node.parts == (
+            StringLit(1, "a "),
+            VarRef(1, "x"),
+            StringLit(1, " b"),
+        )
+
+    def test_multiple_variables(self):
+        node = first('$q = "$a=$b";').value
+        assert len(node.parts) == 3
+
+    def test_escapes(self):
+        node = first(r'$q = "tab\there";').value
+        assert node == StringLit(1, "tab\there")
+
+    def test_escaped_dollar_is_literal(self):
+        node = first(r'$q = "cost: \$5";').value
+        assert node == StringLit(1, "cost: $5")
+
+    def test_plain_dstring(self):
+        node = first('$q = "no vars";').value
+        assert node == StringLit(1, "no vars")
+
+    def test_lone_dollar_kept(self):
+        node = first('$q = "100$";').value
+        assert node == StringLit(1, "100$")
+
+
+class TestErrors:
+    def test_unterminated_block(self):
+        with pytest.raises(PhpSyntaxError):
+            parse_php("if ($a == 'x') { $b = '1';")
+
+    def test_stray_identifier(self):
+        with pytest.raises(PhpSyntaxError):
+            parse_php("just words;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(PhpSyntaxError):
+            parse_php("$a = 'x' $b = 'y';")

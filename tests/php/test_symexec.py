@@ -1,0 +1,172 @@
+"""Unit tests for the symbolic executor."""
+
+from repro.analysis.attacks import CONTAINS_QUOTE
+from repro.constraints import ConcatTerm, Const, Var
+from repro.php.parser import parse_php
+from repro.php.symexec import SymbolicExecutor
+from repro.solver import solve
+
+
+def run(source: str):
+    executor = SymbolicExecutor(CONTAINS_QUOTE.machine())
+    return executor.run(parse_php(source))
+
+
+class TestSinkDetection:
+    def test_query_is_sink(self):
+        queries = run("query($_GET['q']);")
+        assert len(queries) == 1
+        assert queries[0].sink_line == 1
+
+    def test_alternative_sink_names(self):
+        queries = run("mysql_query($_GET['q']); pg_query($_GET['r']);")
+        assert len(queries) == 2
+
+    def test_sink_in_assignment(self):
+        queries = run("$r = query($_GET['q']);")
+        assert len(queries) == 1
+
+    def test_no_sink_no_queries(self):
+        assert run("$a = $_GET['q']; echo $a;") == []
+
+    def test_one_query_per_path(self):
+        queries = run(
+            "if ($_GET['m'] == 'x') { $t = 'a'; } else { $t = 'b'; }\n"
+            "query($t);"
+        )
+        assert len(queries) == 2
+
+    def test_constraints_snapshot_at_sink(self):
+        # Constraints recorded after the sink must not leak into it.
+        queries = run(
+            "query($_GET['q']);\n"
+            "if ($_GET['later'] == 'x') { $a = '1'; } else { $a = '2'; }\n"
+        )
+        for query in queries:
+            assert query.num_constraints == 1  # only the attack constraint
+
+
+class TestSymbolicValues:
+    def test_concat_and_interpolation(self):
+        queries = run('$id = $_POST[\'k\'];\n$q = "WHERE id=$id";\nquery($q);')
+        (query,) = queries
+        sink = query.constraints[-1]
+        assert isinstance(sink.lhs, ConcatTerm)
+        kinds = [type(p).__name__ for p in sink.lhs.parts]
+        assert kinds == ["Const", "Var"]
+
+    def test_variable_reassignment(self):
+        queries = run("$x = 'a'; $x = 'b'; query($x);")
+        sink = queries[0].constraints[-1]
+        assert isinstance(sink.lhs, Const)
+        assert sink.lhs.machine.accepts("b")
+
+    def test_uninitialized_reads_empty(self):
+        queries = run("query($never_set);")
+        sink = queries[0].constraints[-1]
+        assert isinstance(sink.lhs, Const)
+        assert sink.lhs.machine.accepts("")
+
+    def test_inputs_recorded(self):
+        queries = run("query($_POST['a'] . $_GET['b']);")
+        assert queries[0].inputs == ["get_b", "post_a"]
+
+
+class TestBranchConstraints:
+    def test_preg_match_true_branch(self):
+        queries = run(
+            "$x = $_GET['x'];\n"
+            "if (preg_match('/^[a-z]+$/', $x)) { query($x); }"
+        )
+        (query,) = queries
+        # Constraint: x ⊆ lowercase; plus the attack constraint.
+        assert query.num_constraints == 2
+        solutions = solve(query.problem(), query=query.inputs, max_solutions=1)
+        assert not solutions.satisfiable  # letters can't contain a quote
+
+    def test_preg_match_false_branch_complement(self):
+        queries = run(
+            "$x = $_GET['x'];\n"
+            "if (preg_match('/q/', $x)) { exit; }\n"
+            "query($x);"
+        )
+        (query,) = queries
+        solutions = solve(query.problem(), query=query.inputs, max_solutions=1)
+        assignment = solutions.first
+        witness = assignment.witness("get_x")
+        assert "'" in witness and "q" not in witness
+
+    def test_equality_true(self):
+        queries = run(
+            "$m = $_GET['m'];\nif ($m == 'yes') { query($_POST['q']); }"
+        )
+        (query,) = queries
+        eq = query.constraints[0]
+        assert eq.rhs.machine.accepts("yes")
+        assert not eq.rhs.machine.accepts("no")
+
+    def test_equality_false_complement(self):
+        queries = run(
+            "$m = $_GET['m'];\nif ($m == 'yes') { exit; }\nquery($_POST['q']);"
+        )
+        (query,) = queries
+        neq = query.constraints[0]
+        assert not neq.rhs.machine.accepts("yes")
+        assert neq.rhs.machine.accepts("no")
+
+    def test_concrete_comparison_prunes_path(self):
+        queries = run(
+            "$m = 'fixed';\nif ($m == 'other') { query($_GET['q']); }"
+        )
+        assert queries == []  # the true branch is infeasible
+
+    def test_negation_flips(self):
+        queries = run(
+            "$x = $_GET['x'];\n"
+            "if (!preg_match('/^[0-9]+$/', $x)) { exit; }\n"
+            "query($x);"
+        )
+        (query,) = queries
+        solutions = solve(query.problem(), query=query.inputs, max_solutions=1)
+        assert not solutions.satisfiable  # digits-only can't carry a quote
+
+    def test_conjunction_both_recorded(self):
+        queries = run(
+            "$x = $_GET['x'];\n$y = $_GET['y'];\n"
+            "if (preg_match('/a/', $x) && preg_match('/b/', $y)) { query($x . $y); }"
+        )
+        (query,) = queries
+        assert query.num_constraints == 3  # two filters + attack
+
+    def test_disjunctive_outcome_drops_constraint(self):
+        queries = run(
+            "$x = $_GET['x'];\n"
+            "if (preg_match('/a/', $x) && preg_match('/b/', $x)) { exit; }\n"
+            "query($x);"
+        )
+        (query,) = queries
+        assert query.num_constraints == 1  # only the attack constraint
+
+
+class TestCalls:
+    def test_sanitizer_blocks_exploit(self):
+        queries = run(
+            "$x = mysql_real_escape_string($_POST['x']);\n"
+            'query("WHERE a=$x");'
+        )
+        (query,) = queries
+        solutions = solve(query.problem(), max_solutions=1)
+        assert not solutions.satisfiable
+
+    def test_identity_transforms_preserve_flow(self):
+        queries = run("$x = trim($_POST['x']);\nquery($x);")
+        (query,) = queries
+        solutions = solve(query.problem(), query=query.inputs, max_solutions=1)
+        assert solutions.satisfiable
+
+    def test_unknown_call_havocs(self):
+        queries = run("$x = mystery($_POST['x']);\nquery($x);")
+        (query,) = queries
+        sink = query.constraints[-1]
+        assert isinstance(sink.lhs, Var)
+        assert sink.lhs.name.startswith("tmp")

@@ -1,0 +1,116 @@
+"""Tests for ternary expressions and switch statements."""
+
+from repro.analysis import CONTAINS_QUOTE, analyze_source
+from repro.php import build_cfg, parse_php
+from repro.php.ast import If, Ternary
+from repro.php.symexec import SymbolicExecutor
+
+
+class TestTernaryParsing:
+    def test_parsed(self):
+        program = parse_php("$x = $m == 'a' ? 'one' : 'two';")
+        assign = program.body.statements[0]
+        assert isinstance(assign.value, Ternary)
+
+    def test_nested_in_else(self):
+        program = parse_php("$x = $m == 'a' ? '1' : ($m == 'b' ? '2' : '3');")
+        outer = program.body.statements[0].value
+        assert isinstance(outer.else_value, Ternary)
+
+
+class TestTernaryLowering:
+    def test_assignment_lowers_to_branch(self):
+        cfg = build_cfg(parse_php("$x = $m == 'a' ? 'one' : 'two';"))
+        # entry + then + else + join.
+        assert cfg.num_blocks == 4
+
+    def test_paths_split(self):
+        source = (
+            "$m = $_GET['m'];\n"
+            "$x = $m == 'safe' ? 'constant' : $_POST['raw'];\n"
+            "query($x);"
+        )
+        executor = SymbolicExecutor(CONTAINS_QUOTE.machine())
+        queries = executor.run(parse_php(source))
+        assert len(queries) == 2  # one per ternary arm
+
+    def test_vulnerable_arm_found(self):
+        source = (
+            "$m = $_GET['m'];\n"
+            "$x = $m == 'safe' ? 'constant' : $_POST['raw'];\n"
+            "query($x);"
+        )
+        report = analyze_source(source, "t.php", first_only=False)
+        verdicts = sorted(f.vulnerable for f in report.findings)
+        assert verdicts == [False, True]
+
+
+class TestSwitch:
+    SOURCE = """<?php
+$m = $_GET['m'];
+switch ($m) {
+    case 'a':
+        $q = 'SELECT 1';
+        break;
+    case 'b':
+        $q = $_POST['raw'];
+        break;
+    default:
+        $q = 'SELECT 2';
+        break;
+}
+query($q);
+"""
+
+    def test_desugars_to_if_chain(self):
+        program = parse_php(self.SOURCE)
+        switch_stmt = program.body.statements[1]
+        assert isinstance(switch_stmt, If)
+        assert switch_stmt.else_body is not None
+
+    def test_case_constraints_recorded(self):
+        executor = SymbolicExecutor(CONTAINS_QUOTE.machine())
+        queries = executor.run(parse_php(self.SOURCE))
+        assert len(queries) == 3  # a, b, default
+
+    def test_only_raw_case_vulnerable(self):
+        report = analyze_source(self.SOURCE, "s.php", first_only=False)
+        vulnerable = [f for f in report.findings if f.vulnerable]
+        assert len(vulnerable) == 1
+        # The exploiting path must force $m == 'b'.
+        assert vulnerable[0].exploit_inputs.get("get_m") == "b"
+
+    def test_fallthrough(self):
+        source = """<?php
+$m = $_GET['m'];
+$q = 'base';
+switch ($m) {
+    case 'a':
+        $q = $_POST['raw'];
+    case 'b':
+        $q = $q . '!';
+        break;
+    default:
+        break;
+}
+query($q);
+"""
+        executor = SymbolicExecutor(CONTAINS_QUOTE.machine())
+        queries = executor.run(parse_php(source))
+        # Case 'a' falls through into 'b''s body.
+        report = analyze_source(source, "ft.php", first_only=False)
+        exploits = [f for f in report.findings if f.vulnerable]
+        assert exploits
+        assert exploits[0].exploit_inputs.get("get_m") == "a"
+
+    def test_switch_without_default(self):
+        source = """<?php
+switch ($_GET['m']) {
+    case 'x':
+        query($_POST['q']);
+        break;
+}
+echo done();
+"""
+        report = analyze_source(source, "nd.php")
+        assert report.vulnerable

@@ -1,0 +1,127 @@
+"""Property tests: the automata algebra is a Boolean algebra of languages."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import Nfa, determinize, minimize_nfa, ops
+from repro.automata.dfa import complement
+from repro.automata.equivalence import counterexample, is_subset
+
+from ..helpers import AB, all_strings
+from .strategies import finite_languages, machines, short_strings
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@SETTINGS
+@given(machines(), machines(), short_strings())
+def test_union_is_or(left, right, text):
+    combined = ops.union(left, right)
+    assert combined.accepts(text) == (left.accepts(text) or right.accepts(text))
+
+
+@SETTINGS
+@given(machines(), machines(), short_strings())
+def test_intersection_is_and(left, right, text):
+    combined = ops.intersect(left, right)
+    assert combined.accepts(text) == (left.accepts(text) and right.accepts(text))
+
+
+@SETTINGS
+@given(machines(), machines(), short_strings())
+def test_difference_is_and_not(left, right, text):
+    combined = ops.difference(left, right)
+    assert combined.accepts(text) == (left.accepts(text) and not right.accepts(text))
+
+
+@SETTINGS
+@given(machines(), short_strings())
+def test_complement_flips(machine, text):
+    assert complement(machine).accepts(text) != machine.accepts(text)
+
+
+@SETTINGS
+@given(machines(max_depth=2), machines(max_depth=2))
+def test_concat_composes(left, right):
+    combined = ops.concat(left, right)
+    for whole in all_strings(AB, 4):
+        expected = any(
+            left.accepts(whole[:k]) and right.accepts(whole[k:])
+            for k in range(len(whole) + 1)
+        )
+        assert combined.accepts(whole) == expected
+
+
+@SETTINGS
+@given(machines(max_depth=2))
+def test_star_fixpoint(machine):
+    starred = ops.star(machine)
+    assert starred.accepts("")
+    # L* · L* = L* (sampled containment both ways).
+    doubled = ops.concat(starred, starred)
+    assert counterexample(doubled, starred) is None
+    assert counterexample(starred, doubled) is None
+
+
+@SETTINGS
+@given(machines(), short_strings())
+def test_determinize_preserves(machine, text):
+    assert determinize(machine).accepts(text) == machine.accepts(text)
+
+
+@SETTINGS
+@given(machines(), short_strings())
+def test_minimize_preserves(machine, text):
+    assert minimize_nfa(machine).accepts(text) == machine.accepts(text)
+
+
+@SETTINGS
+@given(machines(), short_strings())
+def test_eliminate_epsilon_preserves(machine, text):
+    assert ops.eliminate_epsilon(machine).accepts(text) == machine.accepts(text)
+
+
+@SETTINGS
+@given(machines(), short_strings())
+def test_reverse_membership(machine, text):
+    assert ops.reverse(machine).accepts(text[::-1]) == machine.accepts(text)
+
+
+@SETTINGS
+@given(machines(), machines())
+def test_inclusion_agrees_with_difference(left, right):
+    assert is_subset(left, right) == ops.difference(left, right).is_empty()
+
+
+@SETTINGS
+@given(machines(), machines())
+def test_counterexample_is_genuine(left, right):
+    witness = counterexample(left, right)
+    if witness is not None:
+        assert left.accepts(witness)
+        assert not right.accepts(witness)
+
+
+@SETTINGS
+@given(finite_languages(), machines(max_depth=2), short_strings(4))
+def test_left_quotient_definition(prefix_words, target, text):
+    prefixes = _finite_machine(prefix_words)
+    quotient = ops.left_quotient(prefixes, target)
+    expected = all(target.accepts(u + text) for u in prefix_words)
+    assert quotient.accepts(text) == expected
+
+
+@SETTINGS
+@given(finite_languages(), machines(max_depth=2), short_strings(4))
+def test_right_quotient_definition(suffix_words, target, text):
+    suffixes = _finite_machine(suffix_words)
+    quotient = ops.right_quotient(target, suffixes)
+    expected = all(target.accepts(text + u) for u in suffix_words)
+    assert quotient.accepts(text) == expected
+
+
+def _finite_machine(words: list[str]) -> Nfa:
+    machine = Nfa.literal(words[0], AB)
+    for word in words[1:]:
+        machine = ops.union(machine, Nfa.literal(word, AB))
+    return machine

@@ -1,0 +1,95 @@
+"""Property tests: CharSet behaves exactly like a set of code points."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata.charset import CharSet, minterms
+
+# Small code-point domain keeps the model cheap while still covering
+# interval merging, splitting, and boundary cases.
+points = st.sets(st.integers(min_value=0, max_value=40))
+point_sets = st.lists(points, min_size=0, max_size=5)
+
+
+def model(cs: CharSet) -> set[int]:
+    return set(cs.codepoints())
+
+
+def build(values: set[int]) -> CharSet:
+    return CharSet([(v, v) for v in values])
+
+
+@given(points)
+def test_roundtrip(values):
+    assert model(build(values)) == values
+
+
+@given(points, points)
+def test_union_matches_set_union(left, right):
+    assert model(build(left) | build(right)) == left | right
+
+
+@given(points, points)
+def test_intersection_matches(left, right):
+    assert model(build(left) & build(right)) == left & right
+
+
+@given(points, points)
+def test_difference_matches(left, right):
+    assert model(build(left) - build(right)) == left - right
+
+
+@given(points, points)
+def test_subset_matches(left, right):
+    assert build(left).is_subset(build(right)) == (left <= right)
+
+
+@given(points, points)
+def test_overlaps_matches(left, right):
+    assert build(left).overlaps(build(right)) == bool(left & right)
+
+
+@given(points)
+def test_complement_partitions_universe(values):
+    universe = CharSet([(0, 40)])
+    cs = build(values)
+    comp = cs.complement(universe)
+    assert model(cs) | model(comp) == model(universe)
+    assert not model(cs) & model(comp)
+
+
+@given(points)
+def test_cardinality(values):
+    assert build(values).cardinality() == len(values)
+
+
+@given(point_sets)
+def test_minterms_partition(value_sets):
+    sets = [build(v) for v in value_sets]
+    blocks = minterms(sets)
+    union_of_inputs = set().union(*value_sets) if value_sets else set()
+    union_of_blocks = set()
+    for block in blocks:
+        block_points = model(block)
+        assert block_points, "blocks are non-empty"
+        assert not union_of_blocks & block_points, "blocks are disjoint"
+        union_of_blocks |= block_points
+        # Each block is fully inside or fully outside each input set.
+        for original in value_sets:
+            assert block_points <= original or not (block_points & original)
+    assert union_of_blocks == union_of_inputs
+
+
+@given(points)
+def test_normalization_canonical(values):
+    # However the set is assembled, equal contents give equal objects.
+    one_by_one = build(values)
+    if values:
+        lo, hi = min(values), max(values)
+        from_range = CharSet([(lo, hi)]) - CharSet(
+            [(v, v) for v in range(lo, hi + 1) if v not in values]
+        )
+    else:
+        from_range = CharSet.empty()
+    assert one_by_one == from_range
+    assert hash(one_by_one) == hash(from_range)

@@ -1,0 +1,87 @@
+"""Property test: RMA-level All-Solutions completeness.
+
+The paper proves All-Solutions for one CI call; lifted to the solver it
+says: for the system ``x ⊆ c1, x·y ⊆ c3``, every concrete split
+``(u, w)`` with ``u ∈ c1`` and ``u·w ∈ c3`` must be *covered* by some
+returned disjunct (``u ∈ A[x]`` and ``w ∈ A[y]`` for the same A).
+With small finite constants this is checkable by brute force.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import Nfa, ops
+from repro.constraints.terms import Const, Problem, Subset, Var
+from repro.solver import solve
+from repro.solver.gci import GciLimits
+
+from ..helpers import AB
+
+words = st.text(alphabet="ab", max_size=3)
+languages = st.sets(words, min_size=1, max_size=3)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def finite_machine(strings) -> Nfa:
+    machine = Nfa.literal(sorted(strings)[0], AB)
+    for text in sorted(strings)[1:]:
+        machine = ops.union(machine, Nfa.literal(text, AB))
+    return machine
+
+
+@SETTINGS
+@given(languages, languages)
+def test_every_split_covered(c1_words, c3_words):
+    problem = Problem(
+        [
+            Subset(Var("x"), Const("c1", finite_machine(c1_words))),
+            Subset(
+                Var("x").concat(Var("y")),
+                Const("c3", finite_machine(c3_words)),
+            ),
+        ],
+        alphabet=AB,
+    )
+    solutions = solve(
+        problem, limits=GciLimits(max_combinations=100_000)
+    ).nonempty()
+
+    for whole in c3_words:
+        for cut in range(len(whole) + 1):
+            prefix, suffix = whole[:cut], whole[cut:]
+            if prefix not in c1_words:
+                continue
+            covered = any(
+                a["x"].accepts(prefix) and a["y"].accepts(suffix)
+                for a in solutions
+            )
+            assert covered, (prefix, suffix, len(solutions))
+
+
+@SETTINGS
+@given(languages, languages)
+def test_no_spurious_memberships(c1_words, c3_words):
+    """Dually, every returned disjunct is sound on the finite slice."""
+    problem = Problem(
+        [
+            Subset(Var("x"), Const("c1", finite_machine(c1_words))),
+            Subset(
+                Var("x").concat(Var("y")),
+                Const("c3", finite_machine(c3_words)),
+            ),
+        ],
+        alphabet=AB,
+    )
+    solutions = solve(
+        problem, limits=GciLimits(max_combinations=100_000)
+    ).nonempty()
+    from ..helpers import all_strings
+
+    for assignment in solutions:
+        xs = [u for u in all_strings(AB, 3) if assignment["x"].accepts(u)]
+        ys = [w for w in all_strings(AB, 3) if assignment["y"].accepts(w)]
+        for u in xs:
+            assert u in c1_words
+            for w in ys:
+                assert u + w in c3_words, (u, w)

@@ -1,0 +1,78 @@
+"""Property tests: transducers agree with their Python string models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import CharSet
+from repro.automata.fst import (
+    delete_chars,
+    escape_chars,
+    identity,
+    image,
+    preimage,
+    replace_all,
+)
+
+from ..helpers import AB
+from .strategies import machines, short_strings
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+texts = st.text(alphabet="ab", max_size=8)
+patterns = st.text(alphabet="ab", min_size=1, max_size=3)
+replacements = st.text(alphabet="ab", max_size=3)
+
+
+@SETTINGS
+@given(texts)
+def test_identity_model(text):
+    assert identity(AB).apply_one(text) == text
+
+
+@SETTINGS
+@given(texts)
+def test_delete_model(text):
+    fst = delete_chars(CharSet.of("a"), AB)
+    assert fst.apply_one(text) == text.replace("a", "")
+
+
+@SETTINGS
+@given(texts)
+def test_escape_model(text):
+    fst = escape_chars(CharSet.of("b"), escape="a", alphabet=AB)
+    expected = "".join("ab" if ch == "b" else ch for ch in text)
+    assert fst.apply_one(text) == expected
+
+
+@SETTINGS
+@given(patterns, replacements, texts)
+def test_replace_model(find, replacement, text):
+    fst = replace_all(find, replacement, AB)
+    assert fst.apply_one(text) == text.replace(find, replacement)
+
+
+@SETTINGS
+@given(patterns, replacements, machines(max_depth=2), short_strings(5))
+def test_preimage_pointwise(find, replacement, target, text):
+    fst = replace_all(find, replacement, AB)
+    pre = preimage(fst, target)
+    assert pre.accepts(text) == target.accepts(fst.apply_one(text))
+
+
+@SETTINGS
+@given(patterns, replacements, machines(max_depth=2), short_strings(5))
+def test_image_pointwise(find, replacement, source, text):
+    fst = replace_all(find, replacement, AB)
+    img = image(fst, source)
+    if source.accepts(text):
+        assert img.accepts(fst.apply_one(text))
+
+
+@SETTINGS
+@given(machines(max_depth=2))
+def test_identity_image_and_preimage_are_noops(target):
+    fst = identity(AB)
+    from repro.automata import equivalent
+
+    assert equivalent(image(fst, target), target)
+    assert equivalent(preimage(fst, target), target)

@@ -1,0 +1,45 @@
+"""Property tests: regex pipeline round-trips preserve languages."""
+
+from hypothesis import given, settings
+
+from repro.automata.equivalence import equivalent
+from repro.regex import nfa_to_regex, parse_exact, simplify, to_nfa, unparse
+
+from ..helpers import AB
+from .strategies import regexes, short_strings
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@SETTINGS
+@given(regexes(), short_strings())
+def test_simplify_preserves_membership(regex, text):
+    original = to_nfa(regex, AB)
+    simplified = to_nfa(simplify(regex), AB)
+    assert original.accepts(text) == simplified.accepts(text)
+
+
+@SETTINGS
+@given(regexes())
+def test_unparse_reparse_equivalent(regex):
+    text = unparse(regex, universe=AB.universe)
+    reparsed = parse_exact(text, AB)
+    assert equivalent(to_nfa(regex, AB), to_nfa(reparsed, AB)), text
+
+
+@SETTINGS
+@given(regexes(max_depth=2))
+def test_state_elimination_roundtrip(regex):
+    machine = to_nfa(regex, AB)
+    recovered = to_nfa(nfa_to_regex(machine), AB)
+    assert equivalent(machine, recovered)
+
+
+@SETTINGS
+@given(regexes(max_depth=2))
+def test_full_pipeline_roundtrip(regex):
+    """regex → NFA → regex → text → regex → NFA keeps the language."""
+    machine = to_nfa(regex, AB)
+    text = unparse(simplify(nfa_to_regex(machine)), universe=AB.universe)
+    rebuilt = to_nfa(parse_exact(text, AB), AB)
+    assert equivalent(machine, rebuilt), text

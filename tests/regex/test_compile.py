@@ -1,0 +1,98 @@
+"""Unit tests for Thompson compilation, with Python's ``re`` as oracle."""
+
+import re
+
+import pytest
+
+from repro.regex import parse, parse_exact, to_nfa
+
+from ..helpers import ABC, all_strings
+
+# Patterns valid both for our engine and for Python's `re`, checked
+# exhaustively over {a,b,c} strings up to length 5.
+ORACLE_PATTERNS = [
+    "abc",
+    "a|b",
+    "a*",
+    "a+b*",
+    "(ab)+",
+    "(a|b)(b|c)",
+    "a?b?c?",
+    "a{2}",
+    "a{1,3}b",
+    "a{2,}",
+    "[ab]c*",
+    "[^a]+",
+    "(a|bc)*",
+    "a(b|c){1,2}",
+    "(abc|a)(b|bc)?",
+    "(a*b)*c",
+    "[a-b]{3}",
+    "a..",
+]
+
+
+@pytest.mark.parametrize("pattern", ORACLE_PATTERNS)
+def test_against_re_module(pattern):
+    ours = to_nfa(parse_exact(pattern, ABC), ABC)
+    theirs = re.compile(pattern)
+    for text in all_strings(ABC, 5):
+        expected = theirs.fullmatch(text) is not None
+        assert ours.accepts(text) == expected, (pattern, text)
+
+
+class TestCompileShapes:
+    def test_result_is_normalized(self):
+        machine = to_nfa(parse_exact("(a|b)+", ABC), ABC)
+        assert len(machine.starts) == 1
+        assert len(machine.finals) == 1
+
+    def test_empty_class_is_empty_language(self):
+        machine = to_nfa(parse_exact(r"[\d]", ABC), ABC)  # no digits in {a,b,c}
+        assert machine.is_empty()
+
+    def test_epsilon_language(self):
+        machine = to_nfa(parse_exact("", ABC), ABC)
+        assert machine.accepts("")
+        assert not machine.accepts("a")
+
+    def test_counted_zero(self):
+        machine = to_nfa(parse_exact("a{0}", ABC), ABC)
+        assert machine.accepts("") and not machine.accepts("a")
+
+    def test_counted_upper_bound_enforced(self):
+        machine = to_nfa(parse_exact("a{1,3}", ABC), ABC)
+        assert [machine.accepts("a" * n) for n in range(5)] == [
+            False,
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_nested_repetition(self):
+        machine = to_nfa(parse_exact("(a{2}){2}", ABC), ABC)
+        assert machine.accepts("aaaa")
+        assert not machine.accepts("aaa")
+
+
+class TestPregSemantics:
+    def test_paper_filter(self):
+        # The Fig. 1 filter: matches iff some suffix is digits-to-end.
+        spec = parse(r"[0-9]+$")
+        lang = to_nfa(spec.search())
+        assert lang.accepts("9")
+        assert lang.accepts("' OR 1=1 ; DROP news --9")
+        assert not lang.accepts("' OR 1=1 ; DROP news --")
+
+    def test_fully_anchored_search_equals_full_match(self):
+        from repro.automata import equivalent
+
+        spec = parse("^ab+$")
+        assert equivalent(to_nfa(spec.search()), to_nfa(spec.full_match()))
+
+    def test_unanchored_search_is_contains(self):
+        spec = parse("ab")
+        lang = to_nfa(spec.search())
+        assert lang.accepts("xxabyy")
+        assert not lang.accepts("axb")

@@ -1,0 +1,233 @@
+"""Unit tests for the regex parser (syntax, anchors, errors)."""
+
+import pytest
+
+from repro.automata import BYTE_ALPHABET
+from repro.regex import (
+    Chars,
+    Literal,
+    RegexSyntaxError,
+    Repeat,
+    Star,
+    parse,
+    parse_exact,
+    preg_pattern,
+)
+from repro.regex.ast import Alt, Concat
+
+
+class TestBasics:
+    def test_literal(self):
+        assert parse_exact("abc") == Literal("abc")
+
+    def test_alternation(self):
+        node = parse_exact("ab|cd")
+        assert isinstance(node, Alt)
+        assert len(node.branches) == 2
+
+    def test_concat_fuses_literals(self):
+        assert parse_exact("a(?:b)c") == Literal("abc")
+
+    def test_empty_pattern_is_epsilon(self):
+        assert parse_exact("").is_epsilon()
+
+    def test_group(self):
+        node = parse_exact("(ab)+")
+        assert isinstance(node, Repeat)
+        assert node.inner == Literal("ab")
+
+    def test_non_capturing_group(self):
+        assert parse_exact("(?:ab)") == Literal("ab")
+
+    def test_dot_is_universe(self):
+        node = parse_exact(".")
+        assert isinstance(node, Chars)
+        assert node.charset == BYTE_ALPHABET.universe
+
+
+class TestQuantifiers:
+    def test_star(self):
+        assert isinstance(parse_exact("a*"), Star)
+
+    def test_plus(self):
+        node = parse_exact("a+")
+        assert isinstance(node, Repeat) and (node.lo, node.hi) == (1, None)
+
+    def test_question(self):
+        node = parse_exact("a?")
+        assert isinstance(node, Repeat) and (node.lo, node.hi) == (0, 1)
+
+    def test_counted_exact(self):
+        node = parse_exact("a{3}")
+        assert (node.lo, node.hi) == (3, 3)
+
+    def test_counted_range(self):
+        node = parse_exact("a{2,5}")
+        assert (node.lo, node.hi) == (2, 5)
+
+    def test_counted_open(self):
+        node = parse_exact("a{2,}")
+        assert (node.lo, node.hi) == (2, None)
+
+    def test_lazy_suffix_ignored(self):
+        assert parse_exact("a+?") == parse_exact("a+")
+
+    def test_literal_brace_not_quantifier(self):
+        node = parse_exact("a{x}")
+        assert isinstance(node, (Literal, Concat))
+
+    def test_bounds_out_of_order_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("a{5,2}")
+
+    def test_dangling_quantifier_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("*a")
+
+
+class TestCharClasses:
+    def test_simple_class(self):
+        node = parse_exact("[abc]")
+        assert node.charset.cardinality() == 3
+
+    def test_range_class(self):
+        assert parse_exact("[a-f]").charset.cardinality() == 6
+
+    def test_negated_class(self):
+        node = parse_exact("[^a]")
+        assert not node.charset.contains("a")
+        assert node.charset.contains("b")
+
+    def test_literal_bracket_first(self):
+        assert parse_exact("[]a]").charset.contains("]")
+
+    def test_dash_at_end_is_literal(self):
+        assert parse_exact("[a-]").charset.contains("-")
+
+    def test_escape_in_class(self):
+        assert parse_exact(r"[\d]").charset.contains("5")
+
+    def test_backslash_class_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact(r"[\d-z]")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("[abc")
+
+    def test_range_out_of_order(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("[z-a]")
+
+
+class TestEscapes:
+    def test_digit_class(self):
+        node = parse_exact(r"\d")
+        assert node.charset.contains("0") and not node.charset.contains("a")
+
+    def test_negated_digit(self):
+        node = parse_exact(r"\D")
+        assert not node.charset.contains("0") and node.charset.contains("a")
+
+    def test_word_and_space(self):
+        assert parse_exact(r"\w").charset.contains("_")
+        assert parse_exact(r"\s").charset.contains(" ")
+
+    def test_control_escapes(self):
+        assert parse_exact(r"\n") == Literal("\n")
+        assert parse_exact(r"\t") == Literal("\t")
+
+    def test_hex_escape(self):
+        assert parse_exact(r"\x41") == Literal("A")
+
+    def test_punctuation_escape(self):
+        assert parse_exact(r"\.") == Literal(".")
+        assert parse_exact(r"\$") == Literal("$")
+
+    def test_unknown_alnum_escape_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact(r"\q")
+
+
+class TestAnchors:
+    def test_exact_rejects_anchors(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("^abc")
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("abc$")
+
+    def test_match_spec_records_anchors(self):
+        spec = parse("^ab$")
+        ((start, end, _),) = spec.branches
+        assert start and end
+
+    def test_unanchored_branch(self):
+        spec = parse("ab")
+        ((start, end, _),) = spec.branches
+        assert not start and not end
+
+    def test_per_branch_anchoring(self):
+        spec = parse("^a|b$")
+        assert spec.branches[0][:2] == (True, False)
+        assert spec.branches[1][:2] == (False, True)
+
+    def test_midpattern_caret_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a^b")
+
+    def test_caret_inside_group_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(^a)")
+
+    def test_search_pads_unanchored_sides(self):
+        from repro.regex import to_nfa
+
+        spec = parse(r"[0-9]+$")
+        lang = to_nfa(spec.search())
+        assert lang.accepts("abc123")
+        assert not lang.accepts("123abc")
+
+    def test_full_match_ignores_anchors(self):
+        from repro.regex import to_nfa
+
+        lang = to_nfa(parse("^abc$").full_match())
+        assert lang.accepts("abc") and not lang.accepts("xabc")
+
+
+class TestPregDelimiters:
+    def test_slash_delimiters(self):
+        spec = preg_pattern(r"/[\d]+$/")
+        assert spec.branches[0][1] is True  # end-anchored
+
+    def test_alternative_delimiters(self):
+        assert preg_pattern("#ab#").pattern == "ab"
+        assert preg_pattern("{ab}").pattern == "ab"
+
+    def test_s_flag_accepted(self):
+        assert preg_pattern("/ab/s").pattern == "ab"
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            preg_pattern("/ab/i")
+
+    def test_missing_delimiter_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            preg_pattern("/ab")
+
+
+class TestErrors:
+    def test_position_reported(self):
+        try:
+            parse_exact("ab(cd")
+        except RegexSyntaxError as error:
+            assert error.pos >= 2
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_unmatched_close_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("ab)")
+
+    def test_trailing_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_exact("ab\\")

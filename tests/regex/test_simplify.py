@@ -1,0 +1,91 @@
+"""Unit tests for regex AST simplification."""
+
+import pytest
+
+from repro.automata import CharSet, equivalent
+from repro.regex import parse_exact, simplify, to_nfa, unparse
+from repro.regex.ast import Alt, Chars, Literal, Repeat, Star, alt, concat, star
+from repro.regex.ast import EPSILON
+
+from ..helpers import ABC
+
+
+def assert_preserves(pattern: str) -> None:
+    node = parse_exact(pattern, ABC)
+    simplified = simplify(node)
+    assert equivalent(to_nfa(node, ABC), to_nfa(simplified, ABC)), (
+        pattern,
+        unparse(simplified),
+    )
+
+
+class TestRules:
+    def test_r_rstar_becomes_plus(self):
+        node = concat(Literal("a"), star(Literal("a")))
+        result = simplify(node)
+        assert result == Repeat(Literal("a"), 1, None)
+
+    def test_rstar_r_becomes_plus(self):
+        node = concat(star(Literal("a")), Literal("a"))
+        assert simplify(node) == Repeat(Literal("a"), 1, None)
+
+    def test_star_star_collapses(self):
+        node = star(star(Literal("a")))
+        assert simplify(node) == Star(Literal("a"))
+
+    def test_star_of_plus_collapses(self):
+        node = star(Repeat(Literal("a"), 1, None))
+        assert simplify(node) == Star(Literal("a"))
+
+    def test_star_absorbs_epsilon_branch(self):
+        node = star(Alt((Literal("a"), EPSILON)))
+        result = simplify(node)
+        # ε is absorbed; "a" may surface as a Literal or one-char class.
+        assert isinstance(result, Star)
+        assert result.inner in (Literal("a"), Chars(CharSet.single("a")))
+
+    def test_single_chars_merge_into_class(self):
+        node = alt(Literal("a"), Literal("b"), Literal("c"))
+        result = simplify(node)
+        assert isinstance(result, Chars)
+        assert result.charset.cardinality() == 3
+
+    def test_epsilon_or_plus_becomes_star(self):
+        node = alt(EPSILON, Repeat(Literal("a"), 1, None))
+        assert simplify(node) == Star(Literal("a"))
+
+    def test_epsilon_or_r_becomes_question(self):
+        node = alt(EPSILON, Literal("ab"))
+        assert simplify(node) == Repeat(Literal("ab"), 0, 1)
+
+    def test_repeat_one_one_unwraps(self):
+        node = Repeat(Literal("ab"), 1, 1)
+        assert simplify(node) == Literal("ab")
+
+    def test_repeat_zero_inf_is_star(self):
+        node = Repeat(Literal("a"), 0, None)
+        assert simplify(node) == Star(Literal("a"))
+
+
+class TestLanguagePreservation:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "aa*",
+            "(a*)*b",
+            "a|b|c|ab",
+            "(a|b)(a|b)*",
+            "(ab){1,1}",
+            "a?b?c?",
+            "((a)|(bb))*",
+            "a*a*",
+        ],
+    )
+    def test_preserves(self, pattern):
+        assert_preserves(pattern)
+
+    def test_idempotent(self):
+        node = parse_exact("aa*|b", ABC)
+        once = simplify(node)
+        twice = simplify(once)
+        assert once == twice

@@ -1,0 +1,101 @@
+"""Unit tests for rendering and NFA→regex state elimination."""
+
+import pytest
+
+from repro.automata import Nfa, equivalent, ops
+from repro.regex import nfa_to_regex, parse_exact, to_nfa, unparse
+from repro.regex.ast import EMPTY, Chars, Literal
+
+from ..helpers import ABC, machine
+
+
+def roundtrip(pattern: str) -> None:
+    """pattern → AST → NFA → AST → NFA must preserve the language."""
+    original = to_nfa(parse_exact(pattern, ABC), ABC)
+    recovered = nfa_to_regex(original)
+    rebuilt = to_nfa(recovered, ABC)
+    assert equivalent(original, rebuilt), pattern
+
+
+class TestNfaToRegex:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a",
+            "abc",
+            "a|b|c",
+            "a*",
+            "(ab)+c?",
+            "(a|bb)*c",
+            "a(b|c)a",
+            "(a|b){2,4}",
+            "(ab|ba)*",
+            "a*b*c*",
+        ],
+    )
+    def test_roundtrip(self, pattern):
+        roundtrip(pattern)
+
+    def test_empty_language(self):
+        assert nfa_to_regex(Nfa.never(ABC)) is EMPTY
+
+    def test_epsilon_language(self):
+        recovered = nfa_to_regex(Nfa.epsilon_only(ABC))
+        assert to_nfa(recovered, ABC).accepts("")
+
+    def test_machine_with_dead_states(self):
+        target = machine("ab")
+        target.add_state()  # unreachable junk
+        recovered = nfa_to_regex(target)
+        assert to_nfa(recovered, ABC).accepts("ab")
+
+    def test_multi_start(self):
+        target = Nfa(ABC)
+        a, b, c = target.add_states(3)
+        target.add_char(a, "a", c)
+        target.add_char(b, "b", c)
+        target.starts = {a, b}
+        target.finals = {c}
+        recovered = to_nfa(nfa_to_regex(target), ABC)
+        assert recovered.accepts("a") and recovered.accepts("b")
+
+
+class TestUnparse:
+    def test_literal(self):
+        assert unparse(Literal("abc")) == "abc"
+
+    def test_escaping(self):
+        assert unparse(Literal("a.b")) == r"a\.b"
+        assert unparse(Literal("x*")) == r"x\*"
+        assert unparse(Literal("\n")) == r"\n"
+
+    def test_charset_render(self):
+        assert unparse(parse_exact("[a-f]")) == "[a-f]"
+
+    def test_dot_abbreviation(self):
+        node = Chars(ABC.universe)
+        assert unparse(node, universe=ABC.universe) == "."
+
+    def test_negated_abbreviation(self):
+        node = parse_exact("[^a]", ABC)
+        assert unparse(node, universe=ABC.universe) == "[^a]"
+
+    def test_alt_precedence(self):
+        text = unparse(parse_exact("(a|b)c"))
+        assert to_nfa(parse_exact(text, ABC), ABC).accepts("bc")
+
+    def test_repeat_grouping(self):
+        text = unparse(parse_exact("(ab){2}"))
+        rebuilt = to_nfa(parse_exact(text, ABC), ABC)
+        assert rebuilt.accepts("abab") and not rebuilt.accepts("ab")
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["a+", "a?", "a*", "a{3}", "a{2,}", "a{2,5}", "ab|c", "(a|b)+c"],
+    )
+    def test_reparse_identity(self, pattern):
+        node = parse_exact(pattern, ABC)
+        text = unparse(node)
+        assert equivalent(
+            to_nfa(parse_exact(text, ABC), ABC), to_nfa(node, ABC)
+        ), (pattern, text)

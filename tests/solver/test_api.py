@@ -1,0 +1,140 @@
+"""Unit tests for the RegLangSolver facade and solution objects."""
+
+import pytest
+
+from repro import RegLangSolver
+from repro.solver import GciLimits
+
+from ..helpers import ABC
+
+
+class TestSolverFacade:
+    def test_quickstart_flow(self):
+        solver = RegLangSolver()
+        v1 = solver.var("v1")
+        solver.require_match(v1, r"/[\d]+$/")
+        solver.require(
+            solver.literal("nid_").concat(v1),
+            solver.match_pattern("unsafe", "'"),
+        )
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.first.witness("v1") is not None
+
+    def test_var_interning(self):
+        solver = RegLangSolver()
+        assert solver.var("x") is solver.var("x")
+
+    def test_name_clash_rejected(self):
+        solver = RegLangSolver()
+        solver.var("x")
+        with pytest.raises(ValueError):
+            solver.pattern("x", "a")
+
+    def test_const_interning_by_name(self):
+        solver = RegLangSolver(ABC)
+        first = solver.pattern("c", "a+")
+        second = solver.pattern("c", "b+")  # same name: first wins
+        assert first is second
+
+    def test_custom_alphabet(self):
+        solver = RegLangSolver(ABC)
+        v = solver.var("v")
+        solver.require(v, solver.pattern("c", "a|b"))
+        result = solver.solve()
+        assert result.first["v"].alphabet is ABC
+
+    def test_machine_const(self):
+        from repro.automata import Nfa
+
+        solver = RegLangSolver(ABC)
+        const = solver.machine_const("k", Nfa.literal("ab", ABC))
+        solver.require(solver.var("v"), const)
+        assert solver.solve().first.witness("v") == "ab"
+
+    def test_add_dsl(self):
+        solver = RegLangSolver()
+        solver.add_dsl('var w;\nw <= "hello";')
+        assert solver.solve().first.witness("w") == "hello"
+
+    def test_limits_passthrough(self):
+        solver = RegLangSolver(ABC)
+        a, b = solver.var("a"), solver.var("b")
+        solver.require(a.concat(b), solver.pattern("c", "a{5}"))
+        result = solver.solve(limits=GciLimits(max_solutions=2))
+        assert len(result) == 2
+
+    def test_problem_snapshot(self):
+        solver = RegLangSolver(ABC)
+        solver.require(solver.var("v"), solver.pattern("c", "a"))
+        problem = solver.problem()
+        assert len(problem) == 1
+
+
+class TestAssignmentOutputs:
+    def make_result(self):
+        solver = RegLangSolver(ABC)
+        v = solver.var("v")
+        solver.require(v, solver.pattern("c", "ab|ba"))
+        return solver.solve()
+
+    def test_witness(self):
+        assert self.make_result().first.witness("v") in ("ab", "ba")
+
+    def test_regex_str_reparses(self):
+        from repro.regex import parse_exact, to_nfa
+        from repro.automata import equivalent
+
+        assignment = self.make_result().first
+        rebuilt = to_nfa(parse_exact(assignment.regex_str("v"), ABC), ABC)
+        assert equivalent(rebuilt, assignment["v"])
+
+    def test_describe_mentions_all_vars(self):
+        description = self.make_result().first.describe()
+        assert "v ↦" in description
+
+    def test_solution_set_iteration(self):
+        result = self.make_result()
+        assert len(list(result)) == len(result)
+
+    def test_first_raises_when_unsat(self):
+        solver = RegLangSolver(ABC)
+        v = solver.var("v")
+        solver.require(v, solver.pattern("c1", "a"))
+        solver.require(v, solver.pattern("c2", "b"))
+        result = solver.solve()
+        assert not result
+        with pytest.raises(ValueError):
+            _ = result.first
+
+    def test_same_languages(self):
+        first = self.make_result().first
+        second = self.make_result().first
+        assert first.same_languages(second)
+
+
+class TestWitnessEnumeration:
+    def test_witnesses_shortlex(self):
+        solver = RegLangSolver(ABC)
+        v = solver.var("v")
+        solver.require(v, solver.pattern("c", "a+b?"))
+        assignment = solver.solve().first
+        assert assignment.witnesses("v", limit=4) == ["a", "aa", "ab", "aaa"]
+
+    def test_witnesses_members_only(self):
+        solver = RegLangSolver(ABC)
+        v = solver.var("v")
+        solver.require(v, solver.pattern("c", "(ab|ba)+"))
+        assignment = solver.solve().first
+        for text in assignment.witnesses("v", limit=8):
+            assert assignment["v"].accepts(text)
+
+    def test_witnesses_of_empty(self):
+        from repro.constraints import Problem, Subset, Var
+        from repro.constraints.terms import Const
+        from repro.automata import Nfa
+        from repro.solver import solve as solve_problem
+
+        problem = Problem([Subset(Var("v"), Const("dead", Nfa.never(ABC)))], alphabet=ABC)
+        result = solve_problem(problem)
+        assert result.assignments[0].witnesses("v") == []

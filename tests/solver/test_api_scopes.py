@@ -1,0 +1,55 @@
+"""Tests for the incremental push/pop solver workflow."""
+
+import pytest
+
+from repro import RegLangSolver
+
+from ..helpers import ABC
+
+
+class TestScopes:
+    def make(self) -> RegLangSolver:
+        solver = RegLangSolver(ABC)
+        v = solver.var("v")
+        solver.require(v, solver.pattern("base", "a+"))
+        return solver
+
+    def test_pop_retracts(self):
+        solver = self.make()
+        solver.push()
+        solver.require(solver.var("v"), solver.pattern("narrow", "b+"))
+        assert not solver.solve().satisfiable  # a+ ∩ b+ = ∅
+        solver.pop()
+        assert solver.solve().satisfiable
+
+    def test_nested_scopes(self):
+        solver = self.make()
+        solver.push()
+        solver.require(solver.var("v"), solver.pattern("two", "a{2,}"))
+        solver.push()
+        solver.require(solver.var("v"), solver.pattern("three", "a{3,}"))
+        assert solver.solve().first.witness("v") == "aaa"
+        solver.pop()
+        assert solver.solve().first.witness("v") == "aa"
+        solver.pop()
+        assert solver.solve().first.witness("v") == "a"
+        assert solver.num_scopes() == 0
+
+    def test_pop_without_push(self):
+        solver = self.make()
+        with pytest.raises(ValueError):
+            solver.pop()
+
+    def test_hypothesis_testing_pattern(self):
+        """The classic incremental workflow: probe several hypotheses
+        against a base system without rebuilding it."""
+        solver = self.make()
+        verdicts = {}
+        for pattern in ("a", "b", "aa"):
+            solver.push()
+            solver.require(
+                solver.var("v"), solver.pattern(f"probe_{pattern}", pattern)
+            )
+            verdicts[pattern] = solver.solve().satisfiable
+            solver.pop()
+        assert verdicts == {"a": True, "b": False, "aa": True}

@@ -1,0 +1,138 @@
+"""Unit tests for the Sec. 3.1.2 extensions."""
+
+import pytest
+
+from repro.automata import enumerate_strings, equivalent
+from repro.constraints import Const, Var
+from repro.solver import solve
+from repro.solver.extensions import (
+    ExtConcat,
+    ExtendedSubset,
+    UnionTerm,
+    expand_unions,
+    length_between,
+    length_exactly,
+    prefix_context,
+    suffix_context,
+)
+
+from ..helpers import ABC, machine
+
+
+def _const(name: str, pattern: str) -> Const:
+    return Const.from_regex(name, pattern, ABC)
+
+
+def words(nfa, limit=30):
+    return frozenset(enumerate_strings(nfa, limit=limit, max_length=10))
+
+
+class TestUnionExpansion:
+    def test_simple_union_distributes(self):
+        constraint = ExtendedSubset(
+            UnionTerm((Var("x"), Var("y"))), _const("c", "a*")
+        )
+        problem = expand_unions([constraint], alphabet=ABC)
+        assert len(problem) == 2
+        assert {str(c.lhs) for c in problem.constraints} == {"x", "y"}
+
+    def test_union_under_concat_cross_product(self):
+        constraint = ExtendedSubset(
+            ExtConcat((UnionTerm((Var("x"), Var("y"))), Var("z"))),
+            _const("c", "ab"),
+        )
+        problem = expand_unions([constraint], alphabet=ABC)
+        assert len(problem) == 2
+        assert {str(c.lhs) for c in problem.constraints} == {"x . z", "y . z"}
+
+    def test_nested_unions(self):
+        constraint = ExtendedSubset(
+            UnionTerm((UnionTerm((Var("a"), Var("b"))), Var("c"))),
+            _const("k", "x*"),
+        )
+        problem = expand_unions([constraint], alphabet=ABC)
+        assert len(problem) == 3
+
+    def test_expanded_system_solves(self):
+        # (x | y) ⊆ a+ solves with both variables getting a+.
+        constraint = ExtendedSubset(
+            UnionTerm((Var("x"), Var("y"))), _const("c", "a+")
+        )
+        solutions = solve(expand_unions([constraint], alphabet=ABC))
+        assert equivalent(solutions.first["x"], machine("a+"))
+        assert equivalent(solutions.first["y"], machine("a+"))
+
+    def test_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            UnionTerm((Var("x"),))
+
+
+class TestLengthRestriction:
+    def test_exact_length(self):
+        const = length_exactly(2, ABC)
+        assert words(const.machine) == {
+            a + b for a in "abc" for b in "abc"
+        }
+
+    def test_length_between(self):
+        const = length_between(1, 2, ABC)
+        lang = words(const.machine)
+        assert "" not in lang
+        assert "a" in lang and "bc" in lang
+        assert "abc" not in lang
+
+    def test_zero_length(self):
+        assert words(length_exactly(0, ABC).machine) == {""}
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            length_between(3, 1, ABC)
+
+    def test_models_length_check(self):
+        # The paper's example: restrict a variable to strings of length n.
+        from repro.constraints import Problem, Subset
+
+        problem = Problem(
+            [
+                Subset(Var("v"), _const("c", "a+b+")),
+                Subset(Var("v"), length_exactly(3, ABC)),
+            ],
+            alphabet=ABC,
+        )
+        solutions = solve(problem)
+        assert words(solutions.first["v"]) == {"aab", "abb"}
+
+
+class TestQuotientContexts:
+    def test_prefix_context(self):
+        pre = _const("pre", "ab")
+        target = _const("t", "abc+")
+        context = prefix_context(pre, target)
+        assert words(context.machine, limit=6) == {
+            "c" * n for n in range(1, 7)
+        }
+
+    def test_prefix_context_universal(self):
+        # Every string of the prefix language must reach the target.
+        pre = _const("pre", "a|aa")
+        target = _const("t", "aa|aaa")
+        context = prefix_context(pre, target)
+        assert words(context.machine) == {"a"}
+
+    def test_suffix_context(self):
+        suf = _const("suf", "c")
+        target = _const("t", "ab*c")
+        context = suffix_context(target, suf)
+        assert context.machine.accepts("ab")
+        assert not context.machine.accepts("abc")
+
+    def test_context_usable_as_constraint(self):
+        from repro.constraints import Problem, Subset
+
+        pre = _const("pre", "ab")
+        target = _const("t", "abc+")
+        problem = Problem(
+            [Subset(Var("v"), prefix_context(pre, target))], alphabet=ABC
+        )
+        solutions = solve(problem)
+        assert solutions.first["v"].accepts("cc")

@@ -1,0 +1,247 @@
+"""Unit tests for the generalized CI procedure over CI-groups (Fig. 8)."""
+
+import pytest
+
+from repro.automata import enumerate_strings, equivalent, is_subset, ops
+from repro.constraints import Node, Subset, Var, build_graph
+from repro.constraints.terms import ConcatTerm, Const, Problem
+from repro.solver import GciLimits, solve_group
+
+from ..helpers import ABC, machine
+
+
+def _const(name: str, pattern: str) -> Const:
+    return Const.from_regex(name, pattern, ABC)
+
+
+def run_group(*constraints: Subset, limits: GciLimits | None = None):
+    problem = Problem(list(constraints), alphabet=ABC)
+    graph, _ = build_graph(problem)
+    (group,) = graph.ci_groups()
+    return solve_group(graph, group, limits)
+
+
+def words(nfa, limit=30):
+    return frozenset(enumerate_strings(nfa, limit=limit, max_length=12))
+
+
+class TestSingleConcat:
+    def test_basic_split(self):
+        solutions = run_group(
+            Subset(Var("x"), _const("c1", "a*")),
+            Subset(Var("y"), _const("c2", "b*")),
+            Subset(Var("x").concat(Var("y")), _const("c3", "aabb")),
+        )
+        assert len(solutions) == 1
+        (solution,) = solutions
+        assert words(solution[Node("var", "x")]) == {"aa"}
+        assert words(solution[Node("var", "y")]) == {"bb"}
+
+    def test_unconstrained_leaf_is_sigma_star(self):
+        # y has no subset constraint: it defaults to Σ*.
+        solutions = run_group(
+            Subset(Var("x"), _const("c1", "a")),
+            Subset(Var("x").concat(Var("y")), _const("c3", "ab*")),
+        )
+        (solution,) = solutions
+        assert words(solution[Node("var", "y")], limit=5) == {"", "b", "bb", "bbb", "bbbb"}
+
+    def test_constant_operand(self):
+        # The motivating example's shape: const · var ⊆ c3.
+        solutions = run_group(
+            Subset(Var("v"), _const("filter", "(a|b)*b")),
+            Subset(_const("pre", "a").concat(Var("v")), _const("c3", "a(a|b)*bb")),
+        )
+        (solution,) = solutions
+        v_lang = solution[Node("var", "v")]
+        assert v_lang.accepts("abb")
+        assert v_lang.accepts("bb")
+        assert not v_lang.accepts("b")
+
+    def test_unsatisfiable_group_empty(self):
+        solutions = run_group(
+            Subset(Var("x"), _const("c1", "a+")),
+            Subset(Var("x").concat(Var("y")), _const("c3", "b+")),
+        )
+        assert solutions == []
+
+
+class TestNesting:
+    def test_three_way_concat(self):
+        solutions = run_group(
+            Subset(Var("x"), _const("cx", "a+")),
+            Subset(Var("y"), _const("cy", "b+")),
+            Subset(Var("z"), _const("cz", "c+")),
+            Subset(
+                ConcatTerm((Var("x"), Var("y"), Var("z"))),
+                _const("c4", "abc|aabcc"),
+            ),
+        )
+        combos = {
+            (
+                words(s[Node("var", "x")]),
+                words(s[Node("var", "y")]),
+                words(s[Node("var", "z")]),
+            )
+            for s in solutions
+        }
+        assert (frozenset({"a"}), frozenset({"b"}), frozenset({"c"})) in combos
+        assert (frozenset({"aa"}), frozenset({"b"}), frozenset({"cc"})) in combos
+
+    def test_push_back_through_tower(self):
+        # x·y·z ⊆ {abc} with all three unconstrained: every way of
+        # splitting "abc" into three pieces is its own (incomparable)
+        # maximal assignment — C(3+2, 2) = 10 of them.
+        solutions = run_group(
+            Subset(
+                ConcatTerm((Var("x"), Var("y"), Var("z"))),
+                _const("c4", "abc"),
+            ),
+        )
+        assert len(solutions) == 10
+        splits = {
+            (
+                "".join(words(s[Node("var", "x")])),
+                "".join(words(s[Node("var", "y")])),
+                "".join(words(s[Node("var", "z")])),
+            )
+            for s in solutions
+        }
+        assert ("a", "b", "c") in splits
+        assert ("abc", "", "") in splits
+        for x, y, z in splits:
+            assert x + y + z == "abc"
+
+
+class TestSharedVariables:
+    def fig9_constraints(self):
+        # Letters o,p,q,r are outside ABC: use bytes for fidelity.
+        from repro.constraints.dsl import parse_problem
+
+        return parse_problem(
+            """
+            var va, vb, vc;
+            va <= /o(pp)+/;
+            vb <= /p*(qq)+/;
+            vc <= /q*r/;
+            va . vb <= /op{5}q*/;
+            vb . vc <= /p*q{4}r/;
+            """
+        )
+
+    def test_fig9_solutions(self):
+        problem = self.fig9_constraints()
+        graph, _ = build_graph(problem)
+        (group,) = graph.ci_groups()
+        solutions = solve_group(graph, group)
+        combos = {
+            (
+                words(s[Node("var", "va")]),
+                words(s[Node("var", "vb")]),
+                words(s[Node("var", "vc")]),
+            )
+            for s in solutions
+        }
+        # The paper's two assignments (Sec. 3.4.4) are found...
+        paper_a1 = (
+            frozenset({"opp"}),
+            frozenset({"pppqq"}),
+            frozenset({"qqr"}),
+        )
+        paper_a2 = (
+            frozenset({"opppp"}),
+            frozenset({"pqq"}),
+            frozenset({"qqr"}),
+        )
+        assert paper_a1 in combos
+        assert paper_a2 in combos
+        # ...plus the two symmetric ones its Def. 3.1 also admits
+        # (see DESIGN.md, "Known paper discrepancy").
+        assert len(solutions) == 4
+
+    def test_shared_var_satisfies_both_constraints(self):
+        problem = self.fig9_constraints()
+        graph, _ = build_graph(problem)
+        (group,) = graph.ci_groups()
+        c1 = machine("op{5}q*", problem.alphabet)
+        c2 = machine("p*q{4}r", problem.alphabet)
+        for solution in solve_group(graph, group):
+            va = solution[Node("var", "va")]
+            vb = solution[Node("var", "vb")]
+            vc = solution[Node("var", "vc")]
+            assert is_subset(ops.concat(va, vb), c1)
+            assert is_subset(ops.concat(vb, vc), c2)
+
+    def test_same_var_twice_in_one_concat(self):
+        solutions = run_group(
+            Subset(Var("x").concat(Var("x")), _const("c", "aa|bb")),
+        )
+        for solution in solutions:
+            lang = words(solution[Node("var", "x")])
+            # x·x ⊆ aa|bb requires x ⊆ {a} or x ⊆ {b} (not {a,b}: ab ∉ c).
+            assert lang in ({"a"}, {"b"})
+
+
+class TestLimits:
+    def test_max_solutions(self):
+        limits = GciLimits(max_solutions=1)
+        solutions = run_group(
+            Subset(Var("x").concat(Var("y")), _const("c", "ab|aab|abb")),
+            limits=limits,
+        )
+        assert len(solutions) == 1
+
+    def test_combination_guard(self):
+        limits = GciLimits(max_combinations=0)
+        with pytest.raises(RuntimeError):
+            run_group(
+                Subset(Var("x").concat(Var("y")), _const("c", "ab")),
+                limits=limits,
+            )
+
+    def test_dedupe_off_keeps_duplicates(self):
+        loose = GciLimits(dedupe=False, prune_subsumed=False, maximize=False)
+        strict = GciLimits(dedupe=True, prune_subsumed=False, maximize=False)
+        noisy = run_group(
+            Subset(Var("x").concat(Var("y")), _const("c", "a{4}")),
+            limits=loose,
+        )
+        clean = run_group(
+            Subset(Var("x").concat(Var("y")), _const("c", "a{4}")),
+            limits=strict,
+        )
+        assert len(noisy) >= len(clean)
+
+    def test_prune_subsumed(self):
+        # Without maximization the per-transition slices of this system
+        # include subsumed entries; pruning must remove them.
+        limits = GciLimits(maximize=False, prune_subsumed=True)
+        solutions = run_group(
+            Subset(Var("x"), _const("c1", "a*")),
+            Subset(Var("y"), _const("c2", "(a|b)*")),
+            Subset(Var("x").concat(Var("y")), _const("c3", "a*b")),
+            limits=limits,
+        )
+        for i, left in enumerate(solutions):
+            for j, right in enumerate(solutions):
+                if i == j:
+                    continue
+                dominated = all(
+                    is_subset(left[node], right[node]) for node in left
+                )
+                assert not dominated
+
+    def test_minimize_leaves_same_languages(self):
+        plain = run_group(
+            Subset(Var("x"), _const("c1", "a*|a*")),
+            Subset(Var("x").concat(Var("y")), _const("c3", "a*b")),
+        )
+        minimized = run_group(
+            Subset(Var("x"), _const("c1", "a*|a*")),
+            Subset(Var("x").concat(Var("y")), _const("c3", "a*b")),
+            limits=GciLimits(minimize_leaves=True),
+        )
+        assert len(plain) == len(minimized)
+        for left, right in zip(plain, minimized):
+            for node in left:
+                assert equivalent(left[node], right[node])

@@ -1,0 +1,53 @@
+"""Unit tests for the cost model (states-visited accounting, Sec. 3.5)."""
+
+from repro import concat_intersect, solve
+from repro.constraints import parse_problem
+from repro.solver import stats
+
+from ..helpers import machine
+
+
+class TestMeasure:
+    def test_counts_accumulate(self):
+        with stats.measure() as cost:
+            concat_intersect(machine("a*"), machine("b*"), machine("ab"))
+        assert cost.states_visited > 0
+        assert cost.operations.get("concat", 0) >= 1
+        assert cost.operations.get("product", 0) >= 1
+
+    def test_no_tracker_outside_block(self):
+        assert stats.current() is None
+        # Operations outside a measure block are no-ops, not errors.
+        concat_intersect(machine("a"), machine("b"), machine("ab"))
+
+    def test_nested_scopes_isolated(self):
+        with stats.measure() as outer:
+            machine("a")  # helper compiles via ops: counts here
+            before = outer.states_visited
+            with stats.measure() as inner:
+                concat_intersect(machine("a*"), machine("b"), machine("a*b"))
+            assert inner.states_visited > 0
+            # Inner work is not double-counted into the outer tracker.
+            assert outer.states_visited == before
+        assert stats.current() is None
+
+    def test_bigger_inputs_cost_more(self):
+        small_cost = stats.measure()
+        with stats.measure() as small:
+            concat_intersect(machine("a"), machine("b"), machine("ab"))
+        with stats.measure() as big:
+            concat_intersect(
+                machine("(a|b){0,8}"), machine("(b|c){0,8}"), machine("(a|b|c){0,12}")
+            )
+        assert big.states_visited > small.states_visited
+
+    def test_solve_records_operations(self):
+        problem = parse_problem('var v;\nv <= /a+/;\nv <= /(aa)+/;')
+        with stats.measure() as cost:
+            solve(problem)
+        assert cost.operations.get("product", 0) >= 1
+
+    def test_repr_mentions_counts(self):
+        with stats.measure() as cost:
+            machine("ab")
+        assert "states_visited" in repr(cost)

@@ -1,0 +1,143 @@
+"""Unit tests for the executable correctness checker (Sec. 3.3 analogue)."""
+
+from repro.automata import Nfa
+from repro.constraints import Const, Problem, Subset, Var
+from repro.solver import (
+    Assignment,
+    addable_strings,
+    check_assignment,
+    check_ci_properties,
+    concat_intersect,
+    solve,
+    term_machine,
+)
+from repro.solver.ci import CiSolution
+
+from ..helpers import ABC, machine
+
+
+def _const(name: str, pattern: str) -> Const:
+    return Const.from_regex(name, pattern, ABC)
+
+
+class TestTermMachine:
+    def test_var_lookup(self):
+        assignment = Assignment({"v": machine("a+")})
+        assert term_machine(Var("v"), assignment).accepts("aa")
+
+    def test_const_passthrough(self):
+        assignment = Assignment({})
+        const = _const("c", "b")
+        assert term_machine(const, assignment).accepts("b")
+
+    def test_concat_substitution(self):
+        assignment = Assignment({"v": machine("b")})
+        term = _const("pre", "a").concat(Var("v"))
+        result = term_machine(term, assignment)
+        assert result.accepts("ab") and not result.accepts("a")
+
+
+class TestCiChecker:
+    def test_accepts_correct_output(self):
+        c1, c2, c3 = machine("a*"), machine("b*"), machine("ab|aabb")
+        report = check_ci_properties(c1, c2, c3, concat_intersect(c1, c2, c3))
+        assert report.ok
+
+    def test_detects_unsatisfying_solution(self):
+        c1, c2, c3 = machine("a"), machine("b"), machine("ab")
+        bogus = [CiSolution(machine("c"), machine("b"), (0, 0))]
+        report = check_ci_properties(c1, c2, c3, bogus)
+        assert not report.satisfying
+        assert any("lhs" in v for v in report.violations)
+
+    def test_detects_missing_coverage(self):
+        c1, c2, c3 = machine("a|c"), machine("b"), machine("ab|cb")
+        partial = [CiSolution(machine("a"), machine("b"), (0, 0))]
+        report = check_ci_properties(c1, c2, c3, partial)
+        assert not report.all_solutions
+
+    def test_empty_solution_set_for_unsat(self):
+        c1, c2, c3 = machine("a"), machine("b"), machine("c")
+        report = check_ci_properties(c1, c2, c3, [])
+        assert report.ok  # nothing to cover, nothing unsound
+
+
+class TestAssignmentChecker:
+    def problem(self) -> Problem:
+        return Problem(
+            [
+                Subset(Var("v"), _const("c1", "(a|b)*b")),
+                Subset(_const("pre", "a").concat(Var("v")), _const("c3", "a(a|b)*bb")),
+            ],
+            alphabet=ABC,
+        )
+
+    def test_solver_output_verifies(self):
+        problem = self.problem()
+        report = check_assignment(problem, solve(problem).first)
+        assert report.ok, report.violations
+        assert report.satisfying
+        assert report.maximal is True
+
+    def test_detects_violation(self):
+        problem = self.problem()
+        bogus = Assignment({"v": machine("a")})  # not even ⊆ c1
+        report = check_assignment(problem, bogus)
+        assert not report.satisfying
+        assert report.violations
+
+    def test_detects_non_maximal(self):
+        problem = self.problem()
+        good = solve(problem).first
+        # Shrink v to a single string: still satisfying, no longer maximal.
+        small = Assignment({"v": machine("bb")})
+        report = check_assignment(problem, small)
+        assert report.satisfying
+        assert report.maximal is False
+
+    def test_maximality_check_optional(self):
+        problem = self.problem()
+        report = check_assignment(
+            problem, solve(problem).first, check_maximality=False
+        )
+        assert report.maximal is None
+
+
+class TestAddableStrings:
+    def test_exact_for_linear_occurrences(self):
+        problem = Problem(
+            [Subset(Var("v"), _const("c", "a{1,3}"))], alphabet=ABC
+        )
+        maximal = Assignment({"v": machine("a{1,3}")})
+        gap, exact = addable_strings(problem, maximal, "v")
+        assert exact
+        assert gap.is_empty()
+
+    def test_gap_found_for_shrunk_assignment(self):
+        problem = Problem(
+            [Subset(Var("v"), _const("c", "a{1,3}"))], alphabet=ABC
+        )
+        small = Assignment({"v": machine("a")})
+        gap, exact = addable_strings(problem, small, "v")
+        assert exact
+        assert gap.accepts("aa") and gap.accepts("aaa")
+        assert not gap.accepts("a")  # already present
+
+    def test_repeated_occurrence_not_exact(self):
+        problem = Problem(
+            [Subset(Var("v").concat(Var("v")), _const("c", "aa|bb"))],
+            alphabet=ABC,
+        )
+        assignment = Assignment({"v": machine("a")})
+        _, exact = addable_strings(problem, assignment, "v")
+        assert not exact
+
+    def test_sampled_check_finds_extension_for_repeated_var(self):
+        # v·v ⊆ (aa)* with v = {aa}: adding ε keeps it satisfying.
+        problem = Problem(
+            [Subset(Var("v").concat(Var("v")), _const("c", "(aa)*"))],
+            alphabet=ABC,
+        )
+        small = Assignment({"v": machine("aa")})
+        report = check_assignment(problem, small)
+        assert report.maximal is False

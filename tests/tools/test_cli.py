@@ -1,0 +1,117 @@
+"""Unit tests for the dprle command-line tool."""
+
+import pathlib
+
+import pytest
+
+from repro.tools.cli import main
+
+MOTIVATING = """
+var v1;
+v1 <= m/[\\d]+$/;
+"nid_" . v1 <= m/'/;
+"""
+
+VULNERABLE_PHP = r"""<?php
+$id = $_POST['id'];
+if (!preg_match('/[\d]+$/', $id)) { exit; }
+query("SELECT * FROM t WHERE id=$id");
+"""
+
+SAFE_PHP = VULNERABLE_PHP.replace(r"/[\d]+$/", r"/^[\d]+$/")
+
+
+@pytest.fixture()
+def constraint_file(tmp_path: pathlib.Path) -> pathlib.Path:
+    path = tmp_path / "test.dprle"
+    path.write_text(MOTIVATING)
+    return path
+
+
+class TestSolve:
+    def test_satisfiable_exit_zero(self, constraint_file, capsys):
+        assert main(["solve", str(constraint_file)]) == 0
+        out = capsys.readouterr().out
+        assert "assignment 1" in out
+        assert "v1" in out
+
+    def test_witness_only(self, constraint_file, capsys):
+        assert main(["solve", str(constraint_file), "--witness-only"]) == 0
+        assert "'0" in capsys.readouterr().out
+
+    def test_unsat_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "unsat.dprle"
+        path.write_text('var v;\nv <= "a";\nv <= "b";')
+        assert main(["solve", str(path)]) == 1
+        assert "no assignments found" in capsys.readouterr().out
+
+    def test_max_solutions(self, tmp_path, capsys):
+        path = tmp_path / "many.dprle"
+        path.write_text("var a, b;\na . b <= /x{6}/;")
+        assert main(["solve", str(path), "--max-solutions", "2"]) == 0
+        assert "2 assignment(s)" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["solve", str(tmp_path / "nope.dprle")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.dprle"
+        path.write_text("var v;\nv <=")
+        assert main(["solve", str(path)]) == 2
+        assert "bad.dprle" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_vulnerable_file(self, tmp_path, capsys):
+        path = tmp_path / "vuln.php"
+        path.write_text(VULNERABLE_PHP)
+        assert main(["analyze", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "VULNERABLE" in out
+        assert "post_id" in out
+
+    def test_safe_file(self, tmp_path, capsys):
+        path = tmp_path / "safe.php"
+        path.write_text(SAFE_PHP)
+        assert main(["analyze", str(path)]) == 0
+        assert "safe" in capsys.readouterr().out
+
+    def test_attack_selection(self, tmp_path, capsys):
+        path = tmp_path / "vuln.php"
+        path.write_text(VULNERABLE_PHP)
+        assert main(["analyze", str(path), "--attack", "tautology"]) == 1
+        assert "OR 1=1" in capsys.readouterr().out
+
+    def test_no_sink(self, tmp_path, capsys):
+        path = tmp_path / "plain.php"
+        path.write_text("<?php $a = 'hello'; echo $a;")
+        assert main(["analyze", str(path)]) == 0
+        assert "no sink queries" in capsys.readouterr().out
+
+
+class TestCorpus:
+    def test_emits_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(["corpus", "--out", str(out_dir), "--scale", "0.02"]) == 0
+        assert (out_dir / "eve" / "edit.php").exists()
+        assert len(list((out_dir / "warp").glob("*.php"))) == 44
+        stdout = capsys.readouterr().out
+        assert "eve 1.0" in stdout
+        assert "12 vulnerable" in stdout
+
+
+class TestGraph:
+    def test_dot_to_stdout(self, constraint_file, capsys):
+        assert main(["graph", str(constraint_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"v1"' in out
+
+    def test_dot_to_file(self, constraint_file, tmp_path, capsys):
+        target = tmp_path / "graph.dot"
+        assert main(["graph", str(constraint_file), "--out", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["graph", str(tmp_path / "nope.dprle")]) == 2
