@@ -9,12 +9,19 @@ can be inspected after a run (EXPERIMENTS.md is produced from these).
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 import random
+import time
 
+from repro import __version__
 from repro.automata import BYTE_ALPHABET, Alphabet, CharSet, Nfa
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: The aggregated perf-trajectory file future PRs diff against.
+AGGREGATE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_solver.json"
 
 
 def write_table(name: str, title: str, lines: list[str]) -> pathlib.Path:
@@ -26,6 +33,48 @@ def write_table(name: str, title: str, lines: list[str]) -> pathlib.Path:
     print()
     print(content)
     return path
+
+
+def write_json(name: str, title: str, data: dict) -> pathlib.Path:
+    """Write machine-readable results to benchmarks/out/<name>.json.
+
+    ``data`` is the benchmark's structured payload (rows keyed however
+    the experiment is parameterized).  Every call also re-aggregates
+    all per-benchmark JSON files into the top-level ``BENCH_solver.json``
+    so a full benchmark run leaves one perf-trajectory artifact behind
+    (see docs/OBSERVABILITY.md for the schema).
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.json"
+    payload = {"name": name, "title": title, "data": data}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    aggregate_results()
+    return path
+
+
+def aggregate_results() -> pathlib.Path:
+    """Merge every benchmarks/out/*.json into BENCH_solver.json."""
+    merged = {}
+    for item in sorted(OUT_DIR.glob("*.json")):
+        try:
+            merged[item.stem] = json.loads(item.read_text())
+        except ValueError:
+            continue  # half-written or foreign file: skip, don't fail a run
+    AGGREGATE_PATH.write_text(
+        json.dumps(
+            {
+                "schema": "dprle.bench/1",
+                "repro_version": __version__,
+                "python": platform.python_version(),
+                "generated_unix": int(time.time()),
+                "benchmarks": merged,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return AGGREGATE_PATH
 
 
 def random_nfa(

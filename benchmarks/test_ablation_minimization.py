@@ -22,7 +22,7 @@ from repro.constraints import parse_problem
 from repro.solver import solve
 from repro.solver.gci import GciLimits
 
-from benchmarks._util import write_table
+from benchmarks._util import write_json, write_table
 
 _RESULTS: dict[str, float] = {}
 
@@ -91,3 +91,11 @@ def test_ablation_table(benchmark):
         "is inherent (the paper's outlier row resists this remedy too).",
     ]
     write_table("ablation_min", "Ablation — intermediate NFA minimization", lines)
+    write_json(
+        "ablation_min",
+        "Ablation — intermediate NFA minimization",
+        {
+            "secure_scale": SECURE_SCALE,
+            "seconds": dict(_RESULTS),
+        },
+    )

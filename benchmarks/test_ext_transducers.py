@@ -18,7 +18,7 @@ import pytest
 
 from repro.analysis import CONTAINS_QUOTE, UNESCAPED_QUOTE, analyze_source
 
-from benchmarks._util import write_table
+from benchmarks._util import write_json, write_table
 
 ESCAPED = r"""<?php
 $x = addslashes($_POST['x']);
@@ -77,3 +77,13 @@ def test_transducer_table(benchmark):
         "discharged by the replacement transducer.",
     ]
     write_table("ext_fst", "Extension — FST sanitizer modelling", lines)
+    write_json(
+        "ext_fst",
+        "Extension — FST sanitizer modelling",
+        {
+            "verdicts": {
+                case: {"black_box": naive_verdict, "transducer": precise_verdict}
+                for case, (naive_verdict, precise_verdict) in _RESULTS.items()
+            }
+        },
+    )

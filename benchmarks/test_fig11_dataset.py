@@ -9,7 +9,7 @@ generation.
 
 from repro.analysis import build_corpus
 
-from benchmarks._util import write_table
+from benchmarks._util import write_json, write_table
 
 PAPER_FIG11 = {
     "eve": ("1.0", 8, 905, 1),
@@ -38,3 +38,25 @@ def test_fig11_dataset_table(benchmark):
         assert len(app.vulnerable_files) == vulnerable
         assert abs(app.loc - loc) / loc < 0.05
     write_table("fig11", "Fig. 11 — benchmark data set", lines)
+    write_json(
+        "fig11",
+        "Fig. 11 — benchmark data set",
+        {
+            "rows": {
+                app.name: {
+                    "version": app.version,
+                    "files": len(app.files),
+                    "loc": app.loc,
+                    "vulnerable": len(app.vulnerable_files),
+                    "paper": dict(
+                        zip(
+                            ("version", "files", "loc", "vulnerable"),
+                            PAPER_FIG11[app.name],
+                        )
+                    ),
+                }
+                for app in corpus
+            },
+            "mean_seconds": benchmark.stats.stats.mean,
+        },
+    )

@@ -21,7 +21,7 @@ import pytest
 
 from repro.analysis import VULN_SPECS, analyze_source, make_vulnerable_source
 
-from benchmarks._util import write_table
+from benchmarks._util import write_json, write_table
 
 _RESULTS: dict[str, tuple[int, int, float]] = {}
 
@@ -74,6 +74,25 @@ def test_fig12_table_and_shape(benchmark):
             f"   (paper: {spec.paper_fg} / {spec.paper_c} / {spec.paper_ts})"
         )
     write_table("fig12", "Fig. 12 — exploit-input generation results", lines)
+    write_json(
+        "fig12",
+        "Fig. 12 — exploit-input generation results",
+        {
+            "rows": {
+                f"{spec.app}/{spec.name}": {
+                    "fg": _RESULTS[f"{spec.app}/{spec.name}"][0],
+                    "c": _RESULTS[f"{spec.app}/{spec.name}"][1],
+                    "ts_seconds": _RESULTS[f"{spec.app}/{spec.name}"][2],
+                    "paper": {
+                        "fg": spec.paper_fg,
+                        "c": spec.paper_c,
+                        "ts_seconds": spec.paper_ts,
+                    },
+                }
+                for spec in VULN_SPECS
+            }
+        },
+    )
 
     # Headline shape claims (Sec. 4): 16 of 17 are fast; `secure` is the
     # outlier by orders of magnitude.

@@ -38,15 +38,28 @@ def test_fig9_group_solving(benchmark):
     assert paper_a2 in combos
     assert len(solutions) == 4
 
-    from benchmarks._util import write_table
+    from benchmarks._util import write_json, write_table
 
     lines = [f"solutions: {len(solutions)} (paper lists 2; see DESIGN.md §4)"]
+    assignment_rows = []
     for index, assignment in enumerate(solutions, start=1):
+        row = {
+            name: assignment.regex_str(name) for name in ("va", "vb", "vc")
+        }
+        assignment_rows.append(row)
         lines.append(
-            f"A{index}: va={assignment.regex_str('va')} "
-            f"vb={assignment.regex_str('vb')} vc={assignment.regex_str('vc')}"
+            f"A{index}: va={row['va']} vb={row['vb']} vc={row['vc']}"
         )
     write_table("fig9", "Figs. 9/10 — mutually dependent concatenations", lines)
+    write_json(
+        "fig9",
+        "Figs. 9/10 — mutually dependent concatenations",
+        {
+            "solutions": len(solutions),
+            "assignments": assignment_rows,
+            "mean_seconds": benchmark.stats.stats.mean,
+        },
+    )
 
 
 def test_fig9_first_solution_only(benchmark):

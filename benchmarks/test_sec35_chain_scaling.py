@@ -21,7 +21,7 @@ from repro.constraints.terms import ConcatTerm, Const, Problem, Subset, Var
 from repro.solver import solve
 from repro.solver.gci import GciLimits
 
-from benchmarks._util import random_nfa, write_table
+from benchmarks._util import random_nfa, write_json, write_table
 
 Q = 5
 CHAIN_LENGTHS = [1, 2, 3]
@@ -108,6 +108,21 @@ def test_chain_table(benchmark):
             "Claim: full enumeration cost grows with chain length much",
             "faster than first-solution cost (O(Q^5) vs O(Q^3) per call).",
         ],
+    )
+    write_json(
+        "sec35_chain",
+        "Sec. 3.5 — chained concat_intersect calls",
+        {
+            "q": Q,
+            "rows": {
+                str(k): {
+                    "first_solution_visits": _ROWS[k][0],
+                    "all_solutions_visits": _ROWS[k][1],
+                    "solutions": _ROWS[k][2],
+                }
+                for k in CHAIN_LENGTHS
+            },
+        },
     )
     # Enumeration cost must grow along the chain.
     assert _ROWS[CHAIN_LENGTHS[-1]][1] > _ROWS[CHAIN_LENGTHS[0]][1]

@@ -19,7 +19,7 @@ from repro import stats
 from repro.automata import ops
 from repro.solver import concat_intersect
 
-from benchmarks._util import random_nfa, write_table
+from benchmarks._util import random_nfa, write_json, write_table
 
 SIZES = [4, 8, 16, 32, 48]
 
@@ -73,6 +73,20 @@ def test_ci_scaling_table(benchmark):
             "",
             "Claims: |M5|/Q^2 bounded; solutions <= Q; visited/Q^3 bounded.",
         ],
+    )
+    write_json(
+        "sec35_ci",
+        "Sec. 3.5 — single concat_intersect cost scaling",
+        {
+            "rows": {
+                str(q): {
+                    "states_visited": _ROWS[q][0],
+                    "m5_states": _ROWS[q][1],
+                    "solutions": _ROWS[q][2],
+                }
+                for q in SIZES
+            }
+        },
     )
     # The normalized ratios must not grow with Q (the big-O claims).
     small = _ROWS[SIZES[0]]

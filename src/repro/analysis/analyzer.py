@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import obs
 from ..automata.alphabet import BYTE_ALPHABET, Alphabet
 from ..php.cfg import build_cfg
 from ..php.parser import parse_php
@@ -98,25 +99,29 @@ def analyze_source(
     back to concrete inputs through transducer pre-images (an empty
     pre-image proves the sanitizer effective on that path).
     """
-    program = parse_php(source, file_name)
-    cfg = build_cfg(program)
-    executor = SymbolicExecutor(
-        attack.machine(alphabet),
-        sinks=sinks,
-        alphabet=alphabet,
-        transducers=transducers,
-    )
-    report = FileReport(file_name=file_name, num_blocks=cfg.num_blocks)
-    solver_limits = limits or GciLimits()
-
-    for query in executor.run_cfg(cfg):
-        finding = _solve_query(
-            query, file_name, solver_limits, render_languages
+    with obs.span("analyze", file=file_name) as sp:
+        program = parse_php(source, file_name)
+        cfg = build_cfg(program)
+        executor = SymbolicExecutor(
+            attack.machine(alphabet),
+            sinks=sinks,
+            alphabet=alphabet,
+            transducers=transducers,
         )
-        report.findings.append(finding)
-        if first_only and finding.vulnerable:
-            break
-    return report
+        report = FileReport(file_name=file_name, num_blocks=cfg.num_blocks)
+        sp.set("blocks", cfg.num_blocks)
+        solver_limits = limits or GciLimits()
+
+        for query in executor.run_cfg(cfg):
+            finding = _solve_query(
+                query, file_name, solver_limits, render_languages
+            )
+            report.findings.append(finding)
+            if first_only and finding.vulnerable:
+                break
+        sp.set("findings", len(report.findings))
+        sp.set("vulnerable", report.vulnerable)
+        return report
 
 
 def _solve_query(
@@ -133,9 +138,18 @@ def _solve_query(
     # With transducer-derived values a satisfying assignment can still
     # fail pre-image refinement, so a few more candidates are kept.
     max_solutions = 4 if query.derived else 1
-    solutions = solve(
-        problem, query=query.inputs, max_solutions=max_solutions, limits=limits
-    )
+    with obs.span(
+        "sink_query",
+        sink_line=query.sink_line,
+        num_constraints=query.num_constraints,
+    ) as sp:
+        solutions = solve(
+            problem,
+            query=query.inputs,
+            max_solutions=max_solutions,
+            limits=limits,
+        )
+        sp.set("satisfiable", solutions.satisfiable)
     elapsed = time.perf_counter() - started
 
     finding = Finding(

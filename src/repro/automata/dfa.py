@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Optional
 
-from .. import stats
+from .. import obs
 from .alphabet import Alphabet
 from .charset import CharSet, minterms
 from .nfa import Nfa
@@ -102,7 +102,14 @@ def determinize(nfa: Nfa) -> Dfa:
     subset state, so the construction never enumerates individual
     characters.
     """
-    stats.count_operation("determinize")
+    obs.count_operation("determinize")
+    with obs.span("determinize", states_in=nfa.num_states) as sp:
+        dfa = _determinize(nfa)
+        sp.set("states_out", dfa.num_states)
+        return dfa
+
+
+def _determinize(nfa: Nfa) -> Dfa:
     alphabet = nfa.alphabet
     universe = alphabet.universe
 
@@ -124,7 +131,7 @@ def determinize(nfa: Nfa) -> Dfa:
         subset = order[index]
         state_id = ids[subset]
         index += 1
-        stats.visit_states(len(subset))
+        obs.visit_states(len(subset))
         if subset & nfa.finals:
             finals.add(state_id)
         labels = nfa.labels_from(subset)
@@ -155,7 +162,7 @@ def determinize(nfa: Nfa) -> Dfa:
 
 def complement(nfa: Nfa) -> Nfa:
     """The NFA for ``Σ* \\ L(nfa)``."""
-    stats.count_operation("complement")
+    obs.count_operation("complement")
     return determinize(nfa).complemented().to_nfa()
 
 
@@ -166,7 +173,14 @@ def minimize_dfa(dfa: Dfa) -> Dfa:
     as one input symbol for the classic algorithm.  Unreachable states
     are dropped before refinement.
     """
-    stats.count_operation("minimize")
+    obs.count_operation("minimize")
+    with obs.span("hopcroft", states_in=dfa.num_states) as sp:
+        out = _minimize_dfa(dfa)
+        sp.set("states_out", out.num_states)
+        return out
+
+
+def _minimize_dfa(dfa: Dfa) -> Dfa:
     # Restrict to reachable states.
     reachable = {dfa.start}
     queue = deque([dfa.start])
@@ -192,7 +206,7 @@ def minimize_dfa(dfa: Dfa) -> Dfa:
         for rep in reps:
             row.append(dfa.delta(state, rep))
         delta[state] = row
-        stats.visit_states(1)
+        obs.visit_states(1)
 
     # preds[k][t] = states stepping to t on block k.
     preds: list[dict[int, set[int]]] = [dict() for _ in symbols]
@@ -266,4 +280,7 @@ def minimize_nfa(nfa: Nfa) -> Nfa:
     (Sec. 4) as a remedy for the ``secure`` outlier; the ablation
     benchmark toggles it.
     """
-    return minimize_dfa(determinize(nfa)).to_nfa().trim()
+    with obs.span("minimize", states_in=nfa.num_states) as sp:
+        out = minimize_dfa(determinize(nfa)).to_nfa().trim()
+        sp.set("states_out", out.num_states)
+        return out

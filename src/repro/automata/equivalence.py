@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from .. import stats
+from .. import obs
 from .charset import minterms
 from .nfa import Nfa
 
@@ -26,9 +26,18 @@ def counterexample(a: Nfa, b: Nfa) -> Optional[str]:
     Explores pairs ``(Sa, Sb)`` of ε-closed NFA state *sets* in BFS
     order, so the returned counterexample is one of minimal length.
     """
-    stats.count_operation("inclusion_check")
+    obs.count_operation("inclusion_check")
     if a.alphabet != b.alphabet:
         raise ValueError("cannot compare machines over different alphabets")
+    with obs.span(
+        "inclusion_check", states_a=a.num_states, states_b=b.num_states
+    ) as sp:
+        result = _counterexample(a, b)
+        sp.set("included", result is None)
+        return result
+
+
+def _counterexample(a: Nfa, b: Nfa) -> Optional[str]:
     start = (a.epsilon_closure(a.starts), b.epsilon_closure(b.starts))
     seen: set[tuple[frozenset[int], frozenset[int]]] = {start}
     queue: deque[tuple[frozenset[int], frozenset[int], str]] = deque(
@@ -36,7 +45,7 @@ def counterexample(a: Nfa, b: Nfa) -> Optional[str]:
     )
     while queue:
         sa, sb, prefix = queue.popleft()
-        stats.visit_states(1)
+        obs.visit_states(1)
         if (sa & a.finals) and not (sb & b.finals):
             return prefix
         # Minterm over *both* machines' outgoing labels so each block is

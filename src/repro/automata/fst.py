@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, NamedTuple, Optional
 
-from .. import stats
+from .. import obs
 from .alphabet import BYTE_ALPHABET, Alphabet
 from .charset import CharSet, minterms
 from .nfa import Nfa
@@ -149,7 +149,7 @@ def image(fst: Fst, language: Nfa) -> Nfa:
     ``c``; the product edge *emits* the FST output, which becomes a
     chain of literal transitions in the result.
     """
-    stats.count_operation("fst_image")
+    obs.count_operation("fst_image")
     if fst.alphabet != language.alphabet:
         raise ValueError("alphabet mismatch between transducer and language")
     out = Nfa(fst.alphabet)
@@ -170,7 +170,7 @@ def image(fst: Fst, language: Nfa) -> Nfa:
         key = worklist.pop()
         fst_state, nfa_states = key
         src = ids[key]
-        stats.visit_states(1)
+        obs.visit_states(1)
         if fst_state in fst.finals and nfa_states & language.finals:
             flush = fst.final_output.get(fst_state, "")
             _emit_string(out, src, flush, make_final=True)
@@ -222,7 +222,7 @@ def preimage(fst: Fst, language: Nfa) -> Nfa:
     constrain the consumed input class to characters the language can
     also read at that point, which keeps everything symbolic.
     """
-    stats.count_operation("fst_preimage")
+    obs.count_operation("fst_preimage")
     if fst.alphabet != language.alphabet:
         raise ValueError("alphabet mismatch between transducer and language")
     out = Nfa(fst.alphabet)
@@ -243,7 +243,7 @@ def preimage(fst: Fst, language: Nfa) -> Nfa:
         key = worklist.pop()
         fst_state, nfa_state = key
         src = ids[key]
-        stats.visit_states(1)
+        obs.visit_states(1)
 
         if fst_state in fst.finals:
             flush = fst.final_output.get(fst_state, "")

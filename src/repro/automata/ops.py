@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .. import stats
+from .. import obs
 from .charset import minterms
 from .dfa import complement, determinize
 from .nfa import BridgeTag, Nfa
@@ -55,13 +55,13 @@ def embed(target: Nfa, source: Nfa) -> dict[int, int]:
     mapping = {state: target.add_state() for state in source.states}
     for src, edge in source.edges():
         target.add_transition(mapping[src], edge.label, mapping[edge.dst], edge.tag)
-    stats.visit_states(source.num_states)
+    obs.visit_states(source.num_states)
     return mapping
 
 
 def union(a: Nfa, b: Nfa) -> Nfa:
     """Machine for ``L(a) ∪ L(b)``."""
-    stats.count_operation("union")
+    obs.count_operation("union")
     out = Nfa(a.alphabet)
     map_a = embed(out, a)
     map_b = embed(out, b)
@@ -82,7 +82,7 @@ def concat(a: Nfa, b: Nfa, tag: Optional[BridgeTag] = None) -> Nfa:
     ``b``; all these edges carry the same ``tag`` (a fresh one if none
     is supplied), identifying them as crossings of *this* concatenation.
     """
-    stats.count_operation("concat")
+    obs.count_operation("concat")
     if tag is None:
         tag = BridgeTag()
     out = Nfa(a.alphabet)
@@ -98,7 +98,7 @@ def concat(a: Nfa, b: Nfa, tag: Optional[BridgeTag] = None) -> Nfa:
 
 def star(a: Nfa) -> Nfa:
     """Machine for ``L(a)*``."""
-    stats.count_operation("star")
+    obs.count_operation("star")
     out = Nfa(a.alphabet)
     mapping = embed(out, a)
     hub = out.add_state()
@@ -139,20 +139,25 @@ def eliminate_epsilon(a: Nfa) -> Nfa:
     per genuinely distinct crossing state.  The paper's machine figures
     draw constants ε-free for the same reason.
     """
-    stats.count_operation("eliminate_epsilon")
-    out = Nfa(a.alphabet)
-    mapping = {state: out.add_state() for state in a.states}
-    for state in a.states:
-        closure = a.epsilon_closure([state])
-        stats.visit_states(1)
-        for member in closure:
-            for edge in a.out_edges(member):
-                if edge.label is not None:
-                    out.add_transition(mapping[state], edge.label, mapping[edge.dst])
-        if closure & a.finals:
-            out.finals.add(mapping[state])
-    out.starts = {mapping[s] for s in a.starts}
-    return out.trim()
+    obs.count_operation("eliminate_epsilon")
+    with obs.span("eliminate_epsilon", states_in=a.num_states) as sp:
+        out = Nfa(a.alphabet)
+        mapping = {state: out.add_state() for state in a.states}
+        for state in a.states:
+            closure = a.epsilon_closure([state])
+            obs.visit_states(1)
+            for member in closure:
+                for edge in a.out_edges(member):
+                    if edge.label is not None:
+                        out.add_transition(
+                            mapping[state], edge.label, mapping[edge.dst]
+                        )
+            if closure & a.finals:
+                out.finals.add(mapping[state])
+        out.starts = {mapping[s] for s in a.starts}
+        out = out.trim()
+        sp.set("states_out", out.num_states)
+        return out
 
 
 def product(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
@@ -166,54 +171,58 @@ def product(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
     Only pairs reachable from the start pairs are constructed; this is
     what the paper's state-visit cost model counts.
     """
-    stats.count_operation("product")
+    obs.count_operation("product")
     if a.alphabet != b.alphabet:
         raise ValueError("cannot intersect machines over different alphabets")
-    out = Nfa(a.alphabet)
-    ids: dict[tuple[int, int], int] = {}
-    provenance: dict[int, tuple[int, int]] = {}
-    worklist: list[tuple[int, int]] = []
+    with obs.span(
+        "product", states_a=a.num_states, states_b=b.num_states
+    ) as sp:
+        out = Nfa(a.alphabet)
+        ids: dict[tuple[int, int], int] = {}
+        provenance: dict[int, tuple[int, int]] = {}
+        worklist: list[tuple[int, int]] = []
 
-    def intern(pair: tuple[int, int]) -> int:
-        if pair not in ids:
-            state = out.add_state()
-            ids[pair] = state
-            provenance[state] = pair
-            worklist.append(pair)
-        return ids[pair]
+        def intern(pair: tuple[int, int]) -> int:
+            if pair not in ids:
+                state = out.add_state()
+                ids[pair] = state
+                provenance[state] = pair
+                worklist.append(pair)
+            return ids[pair]
 
-    for p in a.starts:
-        for q in b.starts:
-            intern((p, q))
-    out.starts = set(ids.values())
+        for p in a.starts:
+            for q in b.starts:
+                intern((p, q))
+        out.starts = set(ids.values())
 
-    while worklist:
-        pair = worklist.pop()
-        p, q = pair
-        src = ids[pair]
-        stats.visit_states(1)
-        for edge in a.out_edges(p):
-            if edge.is_epsilon:
-                out.add_epsilon(src, intern((edge.dst, q)), edge.tag)
-        for edge in b.out_edges(q):
-            if edge.is_epsilon:
-                out.add_epsilon(src, intern((p, edge.dst)), edge.tag)
-        for ea in a.out_edges(p):
-            if ea.is_epsilon:
-                continue
-            for eb in b.out_edges(q):
-                if eb.is_epsilon:
+        while worklist:
+            pair = worklist.pop()
+            p, q = pair
+            src = ids[pair]
+            obs.visit_states(1)
+            for edge in a.out_edges(p):
+                if edge.is_epsilon:
+                    out.add_epsilon(src, intern((edge.dst, q)), edge.tag)
+            for edge in b.out_edges(q):
+                if edge.is_epsilon:
+                    out.add_epsilon(src, intern((p, edge.dst)), edge.tag)
+            for ea in a.out_edges(p):
+                if ea.is_epsilon:
                     continue
-                both = ea.label & eb.label
-                if not both.is_empty():
-                    out.add_transition(src, both, intern((ea.dst, eb.dst)))
+                for eb in b.out_edges(q):
+                    if eb.is_epsilon:
+                        continue
+                    both = ea.label & eb.label
+                    if not both.is_empty():
+                        out.add_transition(src, both, intern((ea.dst, eb.dst)))
 
-    out.finals = {
-        state
-        for state, (p, q) in provenance.items()
-        if p in a.finals and q in b.finals
-    }
-    return out, provenance
+        out.finals = {
+            state
+            for state, (p, q) in provenance.items()
+            if p in a.finals and q in b.finals
+        }
+        sp.set("states_out", out.num_states)
+        return out, provenance
 
 
 def intersect(a: Nfa, b: Nfa) -> Nfa:
@@ -224,20 +233,20 @@ def intersect(a: Nfa, b: Nfa) -> Nfa:
 
 def difference(a: Nfa, b: Nfa) -> Nfa:
     """Machine for ``L(a) \\ L(b)``."""
-    stats.count_operation("difference")
+    obs.count_operation("difference")
     return intersect(a, complement(b))
 
 
 def reverse(a: Nfa) -> Nfa:
     """Machine for the reversal of ``L(a)``."""
-    stats.count_operation("reverse")
+    obs.count_operation("reverse")
     out = Nfa(a.alphabet)
     mapping = {state: out.add_state() for state in a.states}
     for src, edge in a.edges():
         out.add_transition(mapping[edge.dst], edge.label, mapping[src], edge.tag)
     out.starts = {mapping[s] for s in a.finals}
     out.finals = {mapping[s] for s in a.starts}
-    stats.visit_states(a.num_states)
+    obs.visit_states(a.num_states)
     return out
 
 
@@ -247,7 +256,7 @@ def prefix_closure(a: Nfa) -> Nfa:
     Every co-reachable state becomes final.  Useful for modelling
     "starts-with" reasoning and for incremental witness search.
     """
-    stats.count_operation("prefixes")
+    obs.count_operation("prefixes")
     out = a.trim()
     out.finals = out.live_states()
     return out
@@ -255,7 +264,7 @@ def prefix_closure(a: Nfa) -> Nfa:
 
 def suffix_closure(a: Nfa) -> Nfa:
     """The suffix closure ``{v | ∃u: u·v ∈ L(a)}``."""
-    stats.count_operation("suffixes")
+    obs.count_operation("suffixes")
     out = a.trim()
     out.starts = out.live_states() or set(out.starts)
     return out
@@ -263,7 +272,7 @@ def suffix_closure(a: Nfa) -> Nfa:
 
 def factor_closure(a: Nfa) -> Nfa:
     """The factor closure ``{w | ∃u, v: u·w·v ∈ L(a)}``."""
-    stats.count_operation("substrings")
+    obs.count_operation("substrings")
     out = a.trim()
     live = out.live_states()
     if live:
@@ -285,7 +294,18 @@ def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
     ``prefixes`` (via a product walk); then run the DFA from all of
     ``S`` simultaneously, accepting when *every* track accepts.
     """
-    stats.count_operation("left_quotient")
+    obs.count_operation("left_quotient")
+    with obs.span(
+        "left_quotient",
+        prefix_states=prefixes.num_states,
+        language_states=language.num_states,
+    ) as sp:
+        out = _left_quotient(prefixes, language)
+        sp.set("states_out", out.num_states)
+        return out
+
+
+def _left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
     if prefixes.is_empty():
         return Nfa.universal(language.alphabet)
     dfa = determinize(language)
@@ -299,7 +319,7 @@ def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
     seen.update(stack)
     while stack:
         p, d = stack.pop()
-        stats.visit_states(1)
+        obs.visit_states(1)
         if p in prefixes.finals:
             seeds.add(d)
         for edge in prefixes.out_edges(p):
@@ -334,7 +354,7 @@ def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
     while worklist:
         subset = worklist.pop()
         src = ids[subset]
-        stats.visit_states(1)
+        obs.visit_states(1)
         if subset and all(d in dfa.finals for d in subset):
             out.finals.add(src)
         labels = [label for d in subset for label, _ in dfa.transitions[d]]
@@ -347,5 +367,5 @@ def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
 
 def right_quotient(language: Nfa, suffixes: Nfa) -> Nfa:
     """The universal right quotient ``{w | ∀u ∈ L(suffixes): w·u ∈ L(language)}``."""
-    stats.count_operation("right_quotient")
+    obs.count_operation("right_quotient")
     return reverse(left_quotient(reverse(suffixes), reverse(language)))

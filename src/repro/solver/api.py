@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..automata.alphabet import BYTE_ALPHABET, Alphabet
 from ..automata.nfa import Nfa
 from ..constraints.dsl import parse_problem
@@ -131,12 +132,31 @@ class RegLangSolver:
         max_solutions: Optional[int] = None,
         limits: Optional[GciLimits] = None,
         only: Optional[list[str]] = None,
+        collect_stats: bool = False,
     ) -> SolutionSet:
-        """Solve the accumulated instance (see :func:`repro.solver.solve`)."""
-        return solve_problem(
-            self.problem(),
-            query=query,
-            max_solutions=max_solutions,
-            limits=limits,
-            only=only,
-        )
+        """Solve the accumulated instance (see :func:`repro.solver.solve`).
+
+        With ``collect_stats=True`` the solve runs under an
+        observability collector (:mod:`repro.obs`) and the returned
+        :class:`SolutionSet` carries it as ``result.stats`` — a span
+        trace of where the solve spent its time plus a metrics
+        snapshot (``result.stats.to_dict()`` for the JSON form).
+        """
+        if not collect_stats:
+            return solve_problem(
+                self.problem(),
+                query=query,
+                max_solutions=max_solutions,
+                limits=limits,
+                only=only,
+            )
+        with obs.collect() as collector:
+            result = solve_problem(
+                self.problem(),
+                query=query,
+                max_solutions=max_solutions,
+                limits=limits,
+                only=only,
+            )
+        result.stats = collector
+        return result

@@ -8,13 +8,17 @@ discovered them.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
 
 from ..automata.analysis import shortest_string
+from ..automata.dfa import minimize_nfa
 from ..automata.equivalence import equivalent
 from ..automata.nfa import Nfa
 from ..regex import nfa_to_regex, simplify, unparse
 from ..regex.ast import Regex
+
+if TYPE_CHECKING:
+    from ..obs import Collector
 
 __all__ = ["Assignment", "SolutionSet"]
 
@@ -78,8 +82,17 @@ class Assignment:
         )
 
     def regex(self, name: str) -> Regex:
-        """The assigned language as a simplified regex AST."""
-        return simplify(nfa_to_regex(self._machines[name]))
+        """The assigned language as a simplified regex AST.
+
+        The machine is minimized (determinize + Hopcroft) before state
+        elimination: language-preserving, and both the elimination and
+        the rendered pattern are much smaller on the raw sliced
+        machines the solver produces.
+        """
+        machine = self._machines[name]
+        if not machine.is_empty():
+            machine = minimize_nfa(machine)
+        return simplify(nfa_to_regex(machine))
 
     def regex_str(self, name: str) -> str:
         """The assigned language rendered as pattern text."""
@@ -105,11 +118,17 @@ class Assignment:
 
 
 class SolutionSet:
-    """The disjunctive satisfying assignments for one RMA instance."""
+    """The disjunctive satisfying assignments for one RMA instance.
+
+    ``stats`` carries the observability :class:`~repro.obs.Collector`
+    (trace tree + metrics) when the solve was run with
+    ``collect_stats=True``; None otherwise.
+    """
 
     def __init__(self, assignments: list[Assignment], variables: list[str]):
         self.assignments = assignments
         self.variables = list(variables)
+        self.stats: Optional["Collector"] = None
 
     @property
     def satisfiable(self) -> bool:

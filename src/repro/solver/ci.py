@@ -17,6 +17,7 @@ rejected, exactly as in the paper.
 
 from __future__ import annotations
 
+from .. import obs
 from ..automata import ops
 from ..automata.equivalence import equivalent
 from ..automata.nfa import BridgeTag, Nfa
@@ -61,30 +62,40 @@ def concat_intersect(
     docs of :mod:`repro.solver.gci` for why the two can differ.
     """
     tag = BridgeTag("ci")
-    # ε-eliminating the inputs keeps bridge images one per genuinely
-    # distinct crossing state (cf. gci module docs).
-    m1 = ops.eliminate_epsilon(c1).normalized()
-    m2 = ops.eliminate_epsilon(c2).normalized()
-    m3 = ops.eliminate_epsilon(c3)
-    m4 = ops.concat(m1, m2, tag)  # Fig. 3 line 6
-    m5, _ = ops.product(m4, m3)  # Fig. 3 lines 7-8
-    m5 = m5.trim()
+    with obs.span(
+        "ci",
+        c1_states=c1.num_states,
+        c2_states=c2.num_states,
+        c3_states=c3.num_states,
+    ) as sp:
+        # ε-eliminating the inputs keeps bridge images one per genuinely
+        # distinct crossing state (cf. gci module docs).
+        m1 = ops.eliminate_epsilon(c1).normalized()
+        m2 = ops.eliminate_epsilon(c2).normalized()
+        m3 = ops.eliminate_epsilon(c3)
+        m4 = ops.concat(m1, m2, tag)  # Fig. 3 line 6
+        m5, _ = ops.product(m4, m3)  # Fig. 3 lines 7-8
+        m5 = m5.trim()
+        sp.set("product_states", m5.num_states)
 
-    solutions: list[CiSolution] = []
-    for src, edge in sorted(m5.edges(), key=lambda item: (item[0], item[1].dst)):
-        if edge.tag is not tag:
-            continue
-        lhs = m5.with_final(src).trim()  # induce_from_final(M5, qa)
-        rhs = m5.with_start(edge.dst).trim()  # induce_from_start(M5, qb)
-        if lhs.is_empty() or rhs.is_empty():
-            continue
-        if maximize:
-            rhs = ops.intersect(c2, ops.left_quotient(lhs, c3)).trim()
-            lhs = ops.intersect(c1, ops.right_quotient(c3, rhs)).trim()
-        if dedupe and any(
-            equivalent(lhs, existing.lhs) and equivalent(rhs, existing.rhs)
-            for existing in solutions
+        solutions: list[CiSolution] = []
+        for src, edge in sorted(
+            m5.edges(), key=lambda item: (item[0], item[1].dst)
         ):
-            continue
-        solutions.append(CiSolution(lhs, rhs, (src, edge.dst)))
-    return solutions
+            if edge.tag is not tag:
+                continue
+            lhs = m5.with_final(src).trim()  # induce_from_final(M5, qa)
+            rhs = m5.with_start(edge.dst).trim()  # induce_from_start(M5, qb)
+            if lhs.is_empty() or rhs.is_empty():
+                continue
+            if maximize:
+                rhs = ops.intersect(c2, ops.left_quotient(lhs, c3)).trim()
+                lhs = ops.intersect(c1, ops.right_quotient(c3, rhs)).trim()
+            if dedupe and any(
+                equivalent(lhs, existing.lhs) and equivalent(rhs, existing.rhs)
+                for existing in solutions
+            ):
+                continue
+            solutions.append(CiSolution(lhs, rhs, (src, edge.dst)))
+        sp.set("solutions", len(solutions))
+        return solutions

@@ -47,6 +47,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from .. import obs
 from ..automata import ops
 from ..automata.dfa import minimize_nfa
 from ..automata.equivalence import equivalent, is_subset
@@ -134,11 +135,80 @@ def group_solutions(
     yield from keep
 
 
+@dataclass
+class _PreparedGroup:
+    """Stages 1-4 of the GCI procedure: everything the combination
+    enumeration (stage 5) needs, built once per group."""
+
+    machines: dict[Node, Nfa]
+    occurrences: list[_Occurrence]
+    tag_order: list[BridgeTag]
+    edges_by_tag: dict[BridgeTag, list[tuple[int, int]]]
+    constraint_specs: list[tuple[Nfa, list[Node]]]
+    var_nodes: list[Node]
+    leaves: set[Node]
+    total_combinations: int
+
+
 def _enumerate(
     graph: DepGraph,
     group: set[Node],
     limits: GciLimits,
 ) -> Iterator[dict[Node, Nfa]]:
+    # The machine-construction stages are the CI procedure proper
+    # (concatenations + products); the span closes before enumeration
+    # so bridge-combination costs are attributed separately below.
+    with obs.span("ci", group_size=len(group)) as sp:
+        prepared = _prepare_group(graph, group, limits)
+        if prepared is None:
+            # Some concatenation is unrealizable: no solutions.
+            sp.set("combinations", 0)
+            return
+        sp.set("combinations", prepared.total_combinations)
+
+    machines = prepared.machines
+    occurrences = prepared.occurrences
+    tag_order = prepared.tag_order
+    edges_by_tag = prepared.edges_by_tag
+    constraint_specs = prepared.constraint_specs
+    var_nodes = prepared.var_nodes
+    leaves = prepared.leaves
+
+    # -- Stage 5: enumerate combinations; slice, intersect shares,
+    # filter, then close each candidate under Galois maximization.
+    accepted: list[dict[Node, Nfa]] = []
+    yielded = 0
+
+    for combo in itertools.product(*(edges_by_tag[tag] for tag in tag_order)):
+        with obs.span("gci_combination") as sp:
+            chosen = dict(zip(tag_order, combo))
+            solution = _slice_combination(
+                machines, occurrences, chosen, var_nodes, leaves
+            )
+            duplicate = False
+            if solution is not None:
+                if limits.maximize:
+                    solution = _maximize_solution(
+                        solution, machines, constraint_specs, var_nodes, limits
+                    )
+                duplicate = limits.dedupe and any(
+                    _pointwise_equivalent(solution, prior) for prior in accepted
+                )
+            sp.set("viable", solution is not None and not duplicate)
+        if solution is None or duplicate:
+            continue
+        accepted.append(solution)
+        yield solution
+        yielded += 1
+        if limits.max_solutions is not None and yielded >= limits.max_solutions:
+            return
+
+
+def _prepare_group(
+    graph: DepGraph,
+    group: set[Node],
+    limits: GciLimits,
+) -> Optional[_PreparedGroup]:
     alphabet = graph.alphabet
     leaves = {n for n in group if not n.is_temp}
     ordered_temps = graph.group_temps_in_order(group)
@@ -213,7 +283,7 @@ def _enumerate(
     tag_order = [tag for top in tops for tag in tags_by_top[top]]
     for tag in tag_order:
         if not edges_by_tag[tag]:
-            return  # some concatenation is unrealizable: no solutions
+            return None  # some concatenation is unrealizable
 
     total_combinations = 1
     for tag in tag_order:
@@ -237,32 +307,17 @@ def _enumerate(
             for const_node in inbound:
                 constraint_specs.append((const_machine(const_node), leaf_seq))
 
-    # -- Stage 5: enumerate combinations; slice, intersect shares,
-    # filter, then close each candidate under Galois maximization.
     var_nodes = sorted((n for n in leaves if n.is_var), key=lambda n: n.name)
-    accepted: list[dict[Node, Nfa]] = []
-    yielded = 0
-
-    for combo in itertools.product(*(edges_by_tag[tag] for tag in tag_order)):
-        chosen = dict(zip(tag_order, combo))
-        solution = _slice_combination(
-            machines, occurrences, chosen, var_nodes, leaves
-        )
-        if solution is None:
-            continue
-        if limits.maximize:
-            solution = _maximize_solution(
-                solution, machines, constraint_specs, var_nodes, limits
-            )
-        if limits.dedupe and any(
-            _pointwise_equivalent(solution, prior) for prior in accepted
-        ):
-            continue
-        accepted.append(solution)
-        yield solution
-        yielded += 1
-        if limits.max_solutions is not None and yielded >= limits.max_solutions:
-            return
+    return _PreparedGroup(
+        machines=machines,
+        occurrences=occurrences,
+        tag_order=tag_order,
+        edges_by_tag=edges_by_tag,
+        constraint_specs=constraint_specs,
+        var_nodes=var_nodes,
+        leaves=leaves,
+        total_combinations=total_combinations,
+    )
 
 
 def _slice_combination(

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from .. import obs
 from ..automata import ops
 from ..automata.dfa import minimize_nfa
 from ..automata.equivalence import is_subset
@@ -86,57 +87,71 @@ def solve_graph(
     query_names = list(query) if query is not None else list(variable_names)
     wanted: Optional[set[str]] = set(only) if only is not None else None
 
-    # -- Constant-to-constant constraints are pure checks: a violated
-    # one makes the whole system unsatisfiable regardless of variables.
-    for edge in graph.subset_edges:
-        if edge.target.is_const:
-            target = graph.machine(edge.target)
-            source = graph.machine(edge.source)
-            if not is_subset(target, source):
-                return SolutionSet([], query_names)
+    with obs.span("solve", variables=len(variable_names)) as solve_span:
+        # -- Constant-to-constant constraints are pure checks: a violated
+        # one makes the whole system unsatisfiable regardless of variables.
+        for edge in graph.subset_edges:
+            if edge.target.is_const:
+                target = graph.machine(edge.target)
+                source = graph.machine(edge.source)
+                if not is_subset(target, source):
+                    solve_span.set("assignments", 0)
+                    return SolutionSet([], query_names)
 
-    # -- Stage 1: basic constraints (Fig. 7 lines 3-8).
-    base: dict[str, Nfa] = {}
-    for node in graph.var_nodes():
-        if graph.in_some_concat(node):
-            continue
-        if wanted is not None and node.name not in wanted:
-            continue
-        machine = Nfa.universal(graph.alphabet)
-        for const_node in graph.inbound_subsets(node):
-            machine = ops.intersect(machine, graph.machine(const_node)).trim()
-        if limits.minimize_leaves and not machine.is_empty():
-            machine = minimize_nfa(machine)
-        base[node.name] = machine
+        # -- Stage 1: basic constraints (Fig. 7 lines 3-8).
+        base: dict[str, Nfa] = {}
+        with obs.span("basic_constraints"):
+            for node in graph.var_nodes():
+                if graph.in_some_concat(node):
+                    continue
+                if wanted is not None and node.name not in wanted:
+                    continue
+                machine = Nfa.universal(graph.alphabet)
+                for const_node in graph.inbound_subsets(node):
+                    machine = ops.intersect(
+                        machine, graph.machine(const_node)
+                    ).trim()
+                if limits.minimize_leaves and not machine.is_empty():
+                    machine = minimize_nfa(machine)
+                base[node.name] = machine
 
-    # -- Stage 2: eliminate CI-groups via the worklist (lines 9-23).
-    groups = graph.ci_groups()
-    if wanted is not None:
-        groups = [
-            group
-            for group in groups
-            if any(node.is_var and node.name in wanted for node in group)
-        ]
-    assignments: list[Assignment] = []
-    queue: deque[tuple[int, dict[str, Nfa]]] = deque([(0, base)])
-    while queue:
-        group_index, partial = queue.popleft()
-        if group_index == len(groups):
-            assignments.append(Assignment(partial))
-            if max_solutions is not None and len(assignments) >= max_solutions:
-                break
-            continue
-        group = groups[group_index]
-        produced = 0
-        for solution in group_solutions(graph, group, limits):
-            mapping = dict(partial)
-            for node, machine in solution.items():
-                mapping[node.name] = machine
-            queue.append((group_index + 1, mapping))
-            produced += 1
-            if max_solutions is not None and produced >= max_solutions:
-                break
-        # A group with no solutions kills this work item (the paper's
-        # "no assignments found" branch for the current graph).
+        # -- Stage 2: eliminate CI-groups via the worklist (lines 9-23).
+        groups = graph.ci_groups()
+        if wanted is not None:
+            groups = [
+                group
+                for group in groups
+                if any(node.is_var and node.name in wanted for node in group)
+            ]
+        solve_span.set("groups", len(groups))
+        assignments: list[Assignment] = []
+        queue: deque[tuple[int, dict[str, Nfa]]] = deque([(0, base)])
+        iterations = 0
+        while queue:
+            group_index, partial = queue.popleft()
+            iterations += 1
+            if group_index == len(groups):
+                assignments.append(Assignment(partial))
+                if max_solutions is not None and len(assignments) >= max_solutions:
+                    break
+                continue
+            with obs.span(
+                "worklist_iteration", group_index=group_index
+            ) as iter_span:
+                group = groups[group_index]
+                produced = 0
+                for solution in group_solutions(graph, group, limits):
+                    mapping = dict(partial)
+                    for node, machine in solution.items():
+                        mapping[node.name] = machine
+                    queue.append((group_index + 1, mapping))
+                    produced += 1
+                    if max_solutions is not None and produced >= max_solutions:
+                        break
+                iter_span.set("solutions", produced)
+            # A group with no solutions kills this work item (the paper's
+            # "no assignments found" branch for the current graph).
 
-    return SolutionSet(assignments, query_names)
+        solve_span.set("iterations", iterations)
+        solve_span.set("assignments", len(assignments))
+        return SolutionSet(assignments, query_names)

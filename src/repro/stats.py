@@ -2,9 +2,10 @@
 
 Section 3.5 of the paper analyses the decision procedure by counting
 the NFA states visited during automata operations, because wall-clock
-time is dominated by exactly those traversals.  This module provides a
-context-local counter that the automata operations increment, so the
-scaling benchmarks can measure the paper's quantity directly.
+time is dominated by exactly those traversals.  This module keeps the
+original single-counter API as a thin compatibility shim over
+:mod:`repro.obs`, which generalizes it into hierarchical spans and a
+metrics registry.
 
 Usage::
 
@@ -12,21 +13,28 @@ Usage::
         solutions = concat_intersect(c1, c2, c3)
     print(cost.states_visited)
 
-Measurement is optional: when no ``measure`` block is active the
-increments are a cheap no-op on a dummy tracker.
+Measurement is optional: when no ``measure`` block (and no
+:func:`repro.obs.collect` block) is active the increments are a cheap
+no-op.  Nested ``measure`` blocks propagate their counts to every
+active ancestor tracker — inner work is part of the outer scope's cost
+too — and trackers stack freely with ``obs`` collectors.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from contextvars import ContextVar
 from typing import Iterator, Optional
+
+from . import obs
+from .obs import count_operation, visit_states
 
 __all__ = ["CostTracker", "measure", "visit_states", "count_operation", "current"]
 
 
 class CostTracker:
     """Accumulates operation counts during a :func:`measure` block."""
+
+    handles_spans = False  # event sink without a trace tree (cf. obs)
 
     def __init__(self) -> None:
         self.states_visited = 0
@@ -43,34 +51,17 @@ class CostTracker:
         return f"<CostTracker states_visited={self.states_visited} {ops}>"
 
 
-_current: ContextVar[Optional[CostTracker]] = ContextVar("dprle_cost", default=None)
-
-
 @contextmanager
 def measure() -> Iterator[CostTracker]:
     """Collect automata-operation costs for the duration of the block."""
     tracker = CostTracker()
-    token = _current.set(tracker)
-    try:
+    with obs._register(tracker):
         yield tracker
-    finally:
-        _current.reset(token)
 
 
 def current() -> Optional[CostTracker]:
-    """The active tracker, or None outside any ``measure`` block."""
-    return _current.get()
-
-
-def visit_states(count: int) -> None:
-    """Record that an automata operation visited ``count`` states."""
-    tracker = _current.get()
-    if tracker is not None:
-        tracker.visit(count)
-
-
-def count_operation(name: str) -> None:
-    """Record one high-level operation (e.g. ``"product"``)."""
-    tracker = _current.get()
-    if tracker is not None:
-        tracker.record(name)
+    """The innermost active tracker, or None outside any ``measure`` block."""
+    for sink in reversed(obs.active_sinks()):
+        if isinstance(sink, CostTracker):
+            return sink
+    return None

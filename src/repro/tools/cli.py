@@ -31,6 +31,7 @@ import sys
 import time
 from typing import Optional
 
+from .. import obs
 from ..analysis.analyzer import analyze_source
 from ..analysis.attacks import ALL_ATTACKS, CONTAINS_QUOTE
 from ..analysis.corpus import build_corpus
@@ -38,6 +39,39 @@ from ..constraints.dsl import DslError, parse_problem
 from ..solver.worklist import solve
 
 __all__ = ["main"]
+
+
+def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--stats-json", type=pathlib.Path, default=None, metavar="PATH",
+        help="write a machine-readable span trace + metrics snapshot "
+        "(see docs/OBSERVABILITY.md) to PATH",
+    )
+    subparser.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree (where the solve spent its time) to stderr",
+    )
+
+
+def _run_observed(args: argparse.Namespace, run) -> int:
+    """Run a subcommand body, collecting telemetry when requested."""
+    if args.stats_json is None and not args.trace:
+        return run()
+    with obs.collect() as collector:
+        code = run()
+    if args.trace:
+        print(collector.render_trace(), file=sys.stderr)
+    if args.stats_json is not None:
+        try:
+            args.stats_json.write_text(collector.to_json(indent=2) + "\n")
+        except OSError as error:
+            print(
+                f"dprle: cannot write {args.stats_json}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote stats to {args.stats_json}", file=sys.stderr)
+    return code
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -58,6 +92,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--witness-only", action="store_true",
         help="print one concrete string per variable instead of regexes",
     )
+    _add_observability_flags(solve_cmd)
 
     analyze_cmd = commands.add_parser("analyze", help="analyze a PHP file")
     analyze_cmd.add_argument("file", type=pathlib.Path)
@@ -71,6 +106,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--all-sinks", action="store_true",
         help="solve every sink query instead of stopping at the first hit",
     )
+    _add_observability_flags(analyze_cmd)
 
     graph_cmd = commands.add_parser(
         "graph", help="emit a constraint file's dependency graph as DOT"
@@ -135,7 +171,10 @@ def _run_solve(args: argparse.Namespace) -> int:
     except DslError as error:
         print(f"dprle: {args.file}: {error}", file=sys.stderr)
         return 2
+    return _run_observed(args, lambda: _solve_and_print(args, problem))
 
+
+def _solve_and_print(args: argparse.Namespace, problem) -> int:
     started = time.perf_counter()
     solutions = solve(problem, max_solutions=args.max_solutions)
     elapsed = time.perf_counter() - started
@@ -161,6 +200,10 @@ def _run_analyze(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"dprle: cannot read {args.file}: {error}", file=sys.stderr)
         return 2
+    return _run_observed(args, lambda: _analyze_and_print(args, source))
+
+
+def _analyze_and_print(args: argparse.Namespace, source: str) -> int:
     attack = next(a for a in ALL_ATTACKS if a.name == args.attack)
     report = analyze_source(
         source,

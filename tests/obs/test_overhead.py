@@ -1,0 +1,91 @@
+"""Instrumentation-overhead guard (ISSUE 1 acceptance criterion).
+
+The observability hooks live permanently in the automata hot paths, so
+the disabled-collector path must be a near-no-op: this test runs the
+fixed ``concat_intersect`` workload of the ``sec35_ci`` benchmark with
+the hooks as shipped, then again with every hook monkeypatched to a
+bare no-op (the un-instrumented baseline), and asserts the shipped
+hooks add less than 5%.
+
+Timing uses min-of-many to damp scheduler noise, and the comparison is
+retried a few times before failing so a single noisy run on shared CI
+hardware does not flake the suite; a genuine regression (an active-path
+lookup on the disabled path, say) fails every attempt.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.solver import concat_intersect
+
+from ..helpers import machine
+
+ATTEMPTS = 4
+MAX_OVERHEAD = 1.05  # disabled-collector path must stay under +5%
+
+
+@pytest.fixture(scope="module")
+def workload():
+    c1 = machine("(a|b){0,6}")
+    c2 = machine("(b|c){0,6}")
+    c3 = machine("(a|b|c){0,9}")
+
+    def run():
+        concat_intersect(c1, c2, c3)
+
+    run()  # warm caches/allocator before any timing
+    return run
+
+
+def best_of(fn, repeats: int = 7, number: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - started) / number)
+    return best
+
+
+def _noop_span(name, **attrs):
+    return _NOOP_CONTEXT
+
+
+class _NoopContext:
+    def __enter__(self):
+        return obs._NOOP_HANDLE
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+def test_disabled_collector_overhead_under_5_percent(workload):
+    assert obs.active_sinks() == (), "guard must run with no collector active"
+    saved = (obs.visit_states, obs.count_operation, obs.span)
+    ratios = []
+    try:
+        for _ in range(ATTEMPTS):
+            instrumented = best_of(workload)
+            obs.visit_states = lambda count: None
+            obs.count_operation = lambda name: None
+            obs.span = _noop_span
+            try:
+                baseline = best_of(workload)
+            finally:
+                obs.visit_states, obs.count_operation, obs.span = saved
+            ratio = instrumented / baseline
+            ratios.append(ratio)
+            if ratio <= MAX_OVERHEAD:
+                return
+    finally:
+        obs.visit_states, obs.count_operation, obs.span = saved
+    pytest.fail(
+        f"disabled-collector instrumentation overhead exceeded "
+        f"{(MAX_OVERHEAD - 1) * 100:.0f}% in all {ATTEMPTS} attempts: "
+        f"ratios={['%.3f' % r for r in ratios]}"
+    )

@@ -20,15 +20,28 @@ class TestMeasure:
         # Operations outside a measure block are no-ops, not errors.
         concat_intersect(machine("a"), machine("b"), machine("ab"))
 
-    def test_nested_scopes_isolated(self):
+    def test_nested_scopes_propagate(self):
+        # Regression: nested measure() blocks used to *swallow* the
+        # enclosing tracker's counts; inner work is part of the outer
+        # scope's cost, so it must propagate to all active ancestors.
         with stats.measure() as outer:
             machine("a")  # helper compiles via ops: counts here
             before = outer.states_visited
             with stats.measure() as inner:
                 concat_intersect(machine("a*"), machine("b"), machine("a*b"))
             assert inner.states_visited > 0
-            # Inner work is not double-counted into the outer tracker.
-            assert outer.states_visited == before
+            assert outer.states_visited == before + inner.states_visited
+            assert all(
+                outer.operations.get(op, 0) >= count
+                for op, count in inner.operations.items()
+            )
+        assert stats.current() is None
+
+    def test_current_returns_innermost(self):
+        with stats.measure() as outer:
+            with stats.measure() as inner:
+                assert stats.current() is inner
+            assert stats.current() is outer
         assert stats.current() is None
 
     def test_bigger_inputs_cost_more(self):

@@ -1,5 +1,6 @@
 """Unit tests for the dprle command-line tool."""
 
+import json
 import pathlib
 
 import pytest
@@ -60,6 +61,74 @@ class TestSolve:
         path.write_text("var v;\nv <=")
         assert main(["solve", str(path)]) == 2
         assert "bad.dprle" in capsys.readouterr().err
+
+
+def _span_index(trace: dict) -> dict[str, list[dict]]:
+    """Flatten a span tree into name -> spans."""
+    index: dict[str, list[dict]] = {}
+
+    def walk(node: dict) -> None:
+        index.setdefault(node["name"], []).append(node)
+        for child in node.get("children", []):
+            walk(child)
+
+    walk(trace)
+    return index
+
+
+class TestObservability:
+    """End-to-end: ISSUE 1's `--stats-json` acceptance criterion."""
+
+    def test_solve_stats_json(self, constraint_file, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        assert main(["solve", str(constraint_file), "--stats-json", str(out)]) == 0
+        assert f"wrote stats to {out}" in capsys.readouterr().err
+
+        data = json.loads(out.read_text())
+        assert data["schema"] == "dprle.obs/1"
+        spans = _span_index(data["trace"])
+        # The span tree must attribute the solve across the paper's
+        # phases: subset construction, Hopcroft minimization, and the
+        # concatenation-intersection core.
+        for name in ("solve", "ci", "determinize", "hopcroft"):
+            assert spans.get(name), f"span {name!r} missing from trace"
+        for name, nodes in spans.items():
+            for node in nodes:
+                assert node["duration_s"] >= 0
+                assert node["states_visited"] >= 0
+        assert any(s["states_visited"] > 0 for s in spans["determinize"])
+
+        # ... and a metrics snapshot rides along.
+        metrics = data["metrics"]
+        assert metrics["counters"]["states_visited"] > 0
+        assert metrics["counters"]["op.product"] >= 1
+        assert metrics["histograms"]["span_seconds.solve"]["count"] == 1
+        assert metrics["histograms"]["automaton_states"]["count"] > 0
+
+    def test_solve_trace_to_stderr(self, constraint_file, capsys):
+        assert main(["solve", str(constraint_file), "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "solve" in err and "worklist_iteration" in err
+        assert "ms" in err
+
+    def test_analyze_stats_json(self, tmp_path, capsys):
+        path = tmp_path / "vuln.php"
+        path.write_text(VULNERABLE_PHP)
+        out = tmp_path / "stats.json"
+        assert main(["analyze", str(path), "--stats-json", str(out)]) == 1
+        spans = _span_index(json.loads(out.read_text())["trace"])
+        assert spans.get("analyze")
+        assert spans.get("sink_query")
+        assert spans["sink_query"][0]["attrs"]["satisfiable"] is True
+
+    def test_unwritable_stats_path(self, constraint_file, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "stats.json"
+        assert main(["solve", str(constraint_file), "--stats-json", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_no_flags_no_stats_output(self, constraint_file, capsys):
+        assert main(["solve", str(constraint_file)]) == 0
+        assert "wrote stats" not in capsys.readouterr().err
 
 
 class TestAnalyze:
