@@ -35,18 +35,28 @@ def write_table(name: str, title: str, lines: list[str]) -> pathlib.Path:
     return path
 
 
-def write_json(name: str, title: str, data: dict) -> pathlib.Path:
+def write_json(
+    name: str, title: str, data: dict, cache: dict | None = None
+) -> pathlib.Path:
     """Write machine-readable results to benchmarks/out/<name>.json.
 
     ``data`` is the benchmark's structured payload (rows keyed however
-    the experiment is parameterized).  Every call also re-aggregates
-    all per-benchmark JSON files into the top-level ``BENCH_solver.json``
+    the experiment is parameterized).  ``cache`` records the language-
+    cache configuration the numbers were measured under (see
+    docs/CACHING.md); benchmarks that never activate one record
+    ``{"enabled": False}``.  Every call also re-aggregates all
+    per-benchmark JSON files into the top-level ``BENCH_solver.json``
     so a full benchmark run leaves one perf-trajectory artifact behind
     (see docs/OBSERVABILITY.md for the schema).
     """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{name}.json"
-    payload = {"name": name, "title": title, "data": data}
+    payload = {
+        "name": name,
+        "title": title,
+        "cache": cache if cache is not None else {"enabled": False},
+        "data": data,
+    }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     aggregate_results()
     return path

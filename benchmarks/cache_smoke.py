@@ -1,0 +1,82 @@
+"""CI smoke check: the language cache must never be a pessimization.
+
+Runs a small solver workload (the Fig. 9 CI-group plus a chain of
+mutually dependent concatenations) with the cache off and on, warmup
+first, best-of-N wall-clock each way, and fails (exit 1) if the cached
+run is more than 10% slower than the uncached one.  This is a guard
+rail, not a benchmark — the real measurements live in
+``BENCH_solver.json`` (see ``test_sec35_ci_scaling.py`` and
+``test_fig9_ci_group.py``).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.cache_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.cache import CacheLimits, LangCache
+from repro.constraints import parse_problem
+from repro.solver import solve
+
+FIG9 = """
+var va, vb, vc;
+va <= /o(pp)+/;
+vb <= /p*(qq)+/;
+vc <= /q*r/;
+va . vb <= /op{5}q*/;
+vb . vc <= /p*q{4}r/;
+"""
+
+CHAIN = """
+var v0, v1, v2, v3;
+v0 <= /(ab)*/; v1 <= /(ab)*/; v2 <= /(ab)*/; v3 <= /(ab)*/;
+v0 . v1 <= /(ab)*/;
+v1 . v2 <= /(ab)*/;
+v2 . v3 <= /(ab)*/;
+"""
+
+ROUNDS = 3
+TOLERANCE = 1.10
+
+
+def _workload(problems) -> None:
+    for problem in problems:
+        solve(problem)
+
+
+def _best_of(problems, cached: bool) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        cache = LangCache(CacheLimits(enabled=cached))
+        started = time.perf_counter()
+        with cache.activate():
+            _workload(problems)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    problems = [parse_problem(FIG9), parse_problem(CHAIN)]
+    _workload(problems)  # warmup: imports, regex parsing caches, etc.
+
+    uncached = _best_of(problems, cached=False)
+    cached = _best_of(problems, cached=True)
+    ratio = cached / uncached
+
+    print(f"uncached best-of-{ROUNDS}: {uncached * 1000:.1f} ms")
+    print(f"cached   best-of-{ROUNDS}: {cached * 1000:.1f} ms")
+    print(f"ratio (cached/uncached): {ratio:.3f} (tolerance {TOLERANCE:.2f})")
+
+    if ratio > TOLERANCE:
+        print("FAIL: language cache slows the solver down", file=sys.stderr)
+        return 1
+    print("OK: cache is not a pessimization")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

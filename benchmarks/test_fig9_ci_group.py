@@ -7,7 +7,9 @@ assignments; its own Def. 3.1 admits four (see DESIGN.md §4) and we
 report all of them, asserting the paper's A1/A2 are included.
 """
 
+from repro import stats
 from repro.automata import enumerate_strings
+from repro.cache import CacheLimits, LangCache
 from repro.constraints import parse_problem
 from repro.solver import solve
 
@@ -67,3 +69,46 @@ def test_fig9_first_solution_only(benchmark):
     problem = parse_problem(FIG9)
     solutions = benchmark(lambda: solve(problem, max_solutions=1))
     assert len(solutions) == 1
+
+
+def test_fig9_cached_group_solving():
+    """The language cache must not change the Fig. 9 answer set — same
+    four assignments — while cutting the states-visited cost."""
+    problem = parse_problem(FIG9)
+
+    with stats.measure() as cost:
+        base = solve(problem)
+    base_visited = cost.states_visited
+
+    cache = LangCache(CacheLimits())
+    with cache.activate():
+        with stats.measure() as cost:
+            cached = solve(problem)
+    cached_visited = cost.states_visited
+
+    def combos(solutions):
+        return {
+            (words(a["va"]), words(a["vb"]), words(a["vc"])) for a in solutions
+        }
+
+    assert len(cached) == 4
+    assert combos(cached) == combos(base)
+    assert cached_visited < base_visited
+    summary = cache.stats()
+    assert summary["hit_total"] > 0
+
+    from benchmarks._util import write_json
+
+    write_json(
+        "fig9_cache",
+        "Figs. 9/10 — CI-group solve, language cache off vs on",
+        {
+            "solutions": len(cached),
+            "states_visited_uncached": base_visited,
+            "states_visited_cached": cached_visited,
+            "visit_reduction": round(1 - cached_visited / base_visited, 4),
+            "cache_hits": summary["hit_total"],
+            "cache_misses": summary["miss_total"],
+        },
+        cache={"enabled": True, "max_entries": 4096, "ablation": "off-vs-on"},
+    )

@@ -13,11 +13,15 @@ quantities with :mod:`repro.stats`, and checks the bounds (with
 explicit constants — the model counts exactly what the paper counts).
 """
 
+import time
+
 import pytest
 
 from repro import stats
-from repro.automata import ops
-from repro.solver import concat_intersect
+from repro.automata import enumerate_strings, ops
+from repro.cache import CacheLimits, LangCache
+from repro.constraints import parse_problem
+from repro.solver import concat_intersect, solve
 
 from benchmarks._util import random_nfa, write_json, write_table
 
@@ -93,3 +97,97 @@ def test_ci_scaling_table(benchmark):
     large = _ROWS[SIZES[-1]]
     assert large[0] / SIZES[-1] ** 3 <= max(4.0, 4 * small[0] / SIZES[0] ** 3)
     assert large[1] / SIZES[-1] ** 2 <= max(4.0, 4 * small[1] / SIZES[0] ** 2)
+
+
+# -- language-cache ablation on the full solver path -------------------------
+
+CHAIN_LENGTHS = [2, 3, 4]
+
+
+def _chain_problem(n: int):
+    """A length-``n`` chain of mutually dependent concatenations.
+
+    ``(ab)*`` is closed under concatenation, so every constraint is
+    satisfiable and the GCI enumeration produces many language-equal
+    candidates — the dedupe/subsumption and Galois-maximization load the
+    language cache is built for.
+    """
+    names = [f"v{i}" for i in range(n + 1)]
+    lines = [f"var {', '.join(names)};"]
+    for name in names:
+        lines.append(f"{name} <= /(ab)*/;")
+    for left, right in zip(names, names[1:]):
+        lines.append(f"{left} . {right} <= /(ab)*/;")
+    return parse_problem("\n".join(lines))
+
+
+def _solution_summary(solutions) -> set:
+    return {
+        tuple(
+            frozenset(enumerate_strings(machine, limit=6, max_length=8))
+            for _, machine in sorted(assignment.items())
+        )
+        for assignment in solutions
+    }
+
+
+def test_ci_cache_ablation():
+    """Sec. 3.5 cost model, cache off vs on: same solutions, fewer
+    state visits.  Results land in BENCH_solver.json under the `cache`
+    ablation rows."""
+    rows = {}
+    for n in CHAIN_LENGTHS:
+        problem = _chain_problem(n)
+
+        started = time.perf_counter()
+        with stats.measure() as cost:
+            base = solve(problem)
+        base_seconds = time.perf_counter() - started
+        base_visited = cost.states_visited
+
+        cache = LangCache(CacheLimits())
+        started = time.perf_counter()
+        with cache.activate():
+            with stats.measure() as cost:
+                cached = solve(problem)
+        cached_seconds = time.perf_counter() - started
+        cached_visited = cost.states_visited
+
+        # Caching must be invisible in the answers...
+        assert _solution_summary(cached) == _solution_summary(base)
+        # ...and strictly cheaper in the paper's cost model.
+        assert cached_visited < base_visited
+        summary = cache.stats()
+        assert summary["hit_total"] > 0
+
+        rows[str(n)] = {
+            "states_visited_uncached": base_visited,
+            "states_visited_cached": cached_visited,
+            "visit_reduction": round(1 - cached_visited / base_visited, 4),
+            "seconds_uncached": round(base_seconds, 6),
+            "seconds_cached": round(cached_seconds, 6),
+            "cache_hits": summary["hit_total"],
+            "cache_misses": summary["miss_total"],
+        }
+
+    write_table(
+        "sec35_cache",
+        "Sec. 3.5 — solver path, language cache off vs on",
+        [
+            f"{'chain':>6} {'visited (off)':>14} {'visited (on)':>13}"
+            f" {'reduction':>10} {'hits':>6} {'misses':>7}"
+        ]
+        + [
+            f"{n:>6} {row['states_visited_uncached']:>14}"
+            f" {row['states_visited_cached']:>13}"
+            f" {row['visit_reduction']:>10.1%}"
+            f" {row['cache_hits']:>6} {row['cache_misses']:>7}"
+            for n, row in rows.items()
+        ],
+    )
+    write_json(
+        "sec35_cache",
+        "Sec. 3.5 — solver path, language cache off vs on",
+        {"rows": rows},
+        cache={"enabled": True, "max_entries": 4096, "ablation": "off-vs-on"},
+    )

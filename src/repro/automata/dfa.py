@@ -14,6 +14,7 @@ from collections import deque
 from typing import Iterable, Optional
 
 from .. import obs
+from ..cache import active_cache
 from .alphabet import Alphabet
 from .charset import CharSet, minterms
 from .nfa import Nfa
@@ -100,8 +101,15 @@ def determinize(nfa: Nfa) -> Dfa:
 
     Symbolic labels are handled by mintermizing the labels leaving each
     subset state, so the construction never enumerates individual
-    characters.
+    characters.  Memoized per machine by the active language cache.
     """
+    cache = active_cache()
+    if cache is not None:
+        return cache.determinize(nfa)
+    return _determinize_instrumented(nfa)
+
+
+def _determinize_instrumented(nfa: Nfa) -> Dfa:
     obs.count_operation("determinize")
     with obs.span("determinize", states_in=nfa.num_states) as sp:
         dfa = _determinize(nfa)
@@ -161,7 +169,14 @@ def _determinize(nfa: Nfa) -> Dfa:
 
 
 def complement(nfa: Nfa) -> Nfa:
-    """The NFA for ``Σ* \\ L(nfa)``."""
+    """The NFA for ``Σ* \\ L(nfa)``; signature-memoized when cached."""
+    cache = active_cache()
+    if cache is not None:
+        return cache.complement(nfa)
+    return _complement_instrumented(nfa)
+
+
+def _complement_instrumented(nfa: Nfa) -> Nfa:
     obs.count_operation("complement")
     return determinize(nfa).complemented().to_nfa()
 
@@ -278,8 +293,17 @@ def minimize_nfa(nfa: Nfa) -> Nfa:
 
     This is the intermediate-machine minimization the paper suggests
     (Sec. 4) as a remedy for the ``secure`` outlier; the ablation
-    benchmark toggles it.
+    benchmark toggles it.  With a language cache active the minimal
+    machine falls out of the signature computation and is memoized by
+    signature, so equivalent machines minimize once.
     """
+    cache = active_cache()
+    if cache is not None:
+        return cache.minimize(nfa)
+    return _minimize_nfa_instrumented(nfa)
+
+
+def _minimize_nfa_instrumented(nfa: Nfa) -> Nfa:
     with obs.span("minimize", states_in=nfa.num_states) as sp:
         out = minimize_dfa(determinize(nfa)).to_nfa().trim()
         sp.set("states_out", out.num_states)

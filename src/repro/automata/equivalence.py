@@ -14,6 +14,7 @@ from collections import deque
 from typing import Optional
 
 from .. import obs
+from ..cache import active_cache
 from .charset import minterms
 from .nfa import Nfa
 
@@ -66,10 +67,25 @@ def _counterexample(a: Nfa, b: Nfa) -> Optional[str]:
 
 
 def is_subset(a: Nfa, b: Nfa) -> bool:
-    """Decide ``L(a) ⊆ L(b)``."""
+    """Decide ``L(a) ⊆ L(b)``.
+
+    Signature-memoized by the active language cache (equal signatures
+    short-circuit to True; other verdicts are remembered per signature
+    pair), which collapses the solver's repeated subsumption scans.
+    """
+    cache = active_cache()
+    if cache is not None:
+        return cache.is_subset(a, b)
     return counterexample(a, b) is None
 
 
 def equivalent(a: Nfa, b: Nfa) -> bool:
-    """Decide ``L(a) = L(b)``."""
+    """Decide ``L(a) = L(b)``.
+
+    With a language cache active this is a signature comparison: the
+    canonical-form digests agree exactly when the languages do.
+    """
+    cache = active_cache()
+    if cache is not None:
+        return cache.equivalent(a, b)
     return is_subset(a, b) and is_subset(b, a)

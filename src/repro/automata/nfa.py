@@ -18,6 +18,7 @@ Two details matter for the decision procedure:
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Callable, Iterable, Iterator, NamedTuple, Optional
 
@@ -32,14 +33,23 @@ class BridgeTag:
 
     One tag is minted per concatenation; every image of the bridge edge
     inside later product machines carries the same tag.
+
+    Auto-generated labels draw from an :func:`itertools.count`, whose
+    ``next()`` is atomic in CPython, so tags minted from concurrent
+    threads (e.g. solves sharing a cache under a thread pool) never
+    collide.  Label-keyed serialization relies on this uniqueness.
     """
 
     __slots__ = ("label",)
-    _counter = 0
+    _ids = itertools.count(1)
 
     def __init__(self, label: str = ""):
-        BridgeTag._counter += 1
-        self.label = label or f"bridge{BridgeTag._counter}"
+        self.label = label or f"bridge{next(BridgeTag._ids)}"
+
+    @classmethod
+    def fresh(cls, prefix: str) -> "BridgeTag":
+        """A tag with a unique ``<prefix><n>`` label (e.g. ``plus7``)."""
+        return cls(f"{prefix}{next(cls._ids)}")
 
     def __repr__(self) -> str:
         return f"<BridgeTag {self.label}>"

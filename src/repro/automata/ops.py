@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .. import obs
+from ..cache import active_cache
 from .charset import minterms
 from .dfa import complement, determinize
 from .nfa import BridgeTag, Nfa
@@ -50,6 +51,7 @@ def embed(target: Nfa, source: Nfa) -> dict[int, int]:
     final markings of ``target`` are left untouched; callers wire them
     up explicitly.
     """
+    obs.count_operation("embed")
     if source.alphabet != target.alphabet:
         raise ValueError("cannot embed machines over different alphabets")
     mapping = {state: target.add_state() for state in source.states}
@@ -112,18 +114,26 @@ def star(a: Nfa) -> Nfa:
 
 
 def plus(a: Nfa) -> Nfa:
-    """Machine for ``L(a)+`` (one or more repetitions)."""
-    return concat(a, star(a), tag=BridgeTag("plus"))
+    """Machine for ``L(a)+`` (one or more repetitions).
+
+    The bridge tag is minted with a unique ``plus<n>`` label so
+    distinct ``+`` nodes stay distinguishable in traces, ``repr``, and
+    (label-keyed) serialization.
+    """
+    obs.count_operation("plus")
+    return concat(a, star(a), tag=BridgeTag.fresh("plus"))
 
 
 def optional(a: Nfa) -> Nfa:
     """Machine for ``L(a) ∪ {ε}``."""
-    out = a.copy()
+    obs.count_operation("optional")
+    out = Nfa(a.alphabet)
+    mapping = embed(out, a)
     start = out.add_state()
-    for old in out.starts:
-        out.add_epsilon(start, old)
+    for old in a.starts:
+        out.add_epsilon(start, mapping[old])
     out.starts = {start}
-    out.finals = set(out.finals) | {start}
+    out.finals = {mapping[s] for s in a.finals} | {start}
     return out
 
 
@@ -138,7 +148,19 @@ def eliminate_epsilon(a: Nfa) -> Nfa:
     which keeps the number of bridge images per concatenation at one
     per genuinely distinct crossing state.  The paper's machine figures
     draw constants ε-free for the same reason.
+
+    Memoized *structurally* by the active language cache: the GCI
+    procedure reads bridge-crossing structure off products of this
+    output, so the cache may only substitute a result computed from a
+    structurally identical input.
     """
+    cache = active_cache()
+    if cache is not None:
+        return cache.eliminate_epsilon(a)
+    return _eliminate_epsilon_instrumented(a)
+
+
+def _eliminate_epsilon_instrumented(a: Nfa) -> Nfa:
     obs.count_operation("eliminate_epsilon")
     with obs.span("eliminate_epsilon", states_in=a.num_states) as sp:
         out = Nfa(a.alphabet)
@@ -226,7 +248,16 @@ def product(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
 
 
 def intersect(a: Nfa, b: Nfa) -> Nfa:
-    """Machine for ``L(a) ∩ L(b)`` when provenance is not needed."""
+    """Machine for ``L(a) ∩ L(b)`` when provenance is not needed.
+
+    This provenance-free path is signature-memoized by the active
+    language cache (``product`` itself never is: its provenance map and
+    tag images are structure-sensitive).
+    """
+    obs.count_operation("intersect")
+    cache = active_cache()
+    if cache is not None:
+        return cache.intersect(a, b)
     machine, _ = product(a, b)
     return machine
 
@@ -293,7 +324,18 @@ def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
     DFA states reachable from its start on some string of
     ``prefixes`` (via a product walk); then run the DFA from all of
     ``S`` simultaneously, accepting when *every* track accepts.
+
+    Signature-memoized by the active language cache — the Galois
+    maximization recomputes identical quotients across bridge
+    combinations, which is exactly the repetition this shortcuts.
     """
+    cache = active_cache()
+    if cache is not None:
+        return cache.left_quotient(prefixes, language)
+    return _left_quotient_instrumented(prefixes, language)
+
+
+def _left_quotient_instrumented(prefixes: Nfa, language: Nfa) -> Nfa:
     obs.count_operation("left_quotient")
     with obs.span(
         "left_quotient",
@@ -367,5 +409,12 @@ def _left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
 
 def right_quotient(language: Nfa, suffixes: Nfa) -> Nfa:
     """The universal right quotient ``{w | ∀u ∈ L(suffixes): w·u ∈ L(language)}``."""
+    cache = active_cache()
+    if cache is not None:
+        return cache.right_quotient(language, suffixes)
+    return _right_quotient_instrumented(language, suffixes)
+
+
+def _right_quotient_instrumented(language: Nfa, suffixes: Nfa) -> Nfa:
     obs.count_operation("right_quotient")
     return reverse(left_quotient(reverse(suffixes), reverse(language)))

@@ -70,6 +70,7 @@ __all__ = [
     "traced",
     "visit_states",
     "count_operation",
+    "increment_metric",
 ]
 
 
@@ -468,6 +469,21 @@ def count_operation(name: str) -> None:
     if active is not None:
         for sink in active:
             sink.record(name)
+
+
+def increment_metric(name: str, amount: int = 1) -> None:
+    """Increment a named counter on every active collector's registry.
+
+    Unlike :func:`count_operation` this does not prefix ``op.`` or
+    touch span operation tallies — it is the raw hook the language
+    cache uses for its ``cache.hit.<op>`` / ``cache.miss.<op>`` /
+    ``cache.evictions`` counters.  A no-op when nothing is collecting.
+    """
+    active = _sinks.get()
+    if active is not None:
+        for sink in active:
+            if getattr(sink, "handles_spans", False):
+                sink.metrics.counter(name).inc(amount)
 
 
 class _SpanContext:

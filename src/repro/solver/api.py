@@ -17,6 +17,7 @@ from typing import Optional
 from .. import obs
 from ..automata.alphabet import BYTE_ALPHABET, Alphabet
 from ..automata.nfa import Nfa
+from ..cache import CacheLimits, LangCache
 from ..constraints.dsl import parse_problem
 from ..constraints.terms import Const, Problem, Subset, Term, Var
 from ..regex import parse as parse_match_regex
@@ -37,13 +38,20 @@ class RegLangSolver:
     bookkeeping.
     """
 
-    def __init__(self, alphabet: Alphabet = BYTE_ALPHABET):
+    def __init__(
+        self,
+        alphabet: Alphabet = BYTE_ALPHABET,
+        cache: Optional[CacheLimits] = None,
+    ):
         self.alphabet = alphabet
         self._constraints: list[Subset] = []
         self._vars: dict[str, Var] = {}
         self._consts: dict[str, Const] = {}
         self._anon_counter = 0
         self._scopes: list[int] = []
+        # One language cache for the solver's lifetime: incremental
+        # push/pop solves re-hit signatures computed by earlier solves.
+        self.cache = LangCache(cache if cache is not None else CacheLimits())
 
     # -- term construction ------------------------------------------------
 
@@ -141,22 +149,28 @@ class RegLangSolver:
         :class:`SolutionSet` carries it as ``result.stats`` — a span
         trace of where the solve spent its time plus a metrics
         snapshot (``result.stats.to_dict()`` for the JSON form).
+
+        Every solve runs under the solver's language cache
+        (``self.cache``), so repeated solves — the push/pop workflow —
+        reuse signatures and memoized automata across calls.  Construct
+        the solver with ``CacheLimits(enabled=False)`` to opt out.
         """
-        if not collect_stats:
-            return solve_problem(
-                self.problem(),
-                query=query,
-                max_solutions=max_solutions,
-                limits=limits,
-                only=only,
-            )
-        with obs.collect() as collector:
-            result = solve_problem(
-                self.problem(),
-                query=query,
-                max_solutions=max_solutions,
-                limits=limits,
-                only=only,
-            )
-        result.stats = collector
-        return result
+        with self.cache.activate():
+            if not collect_stats:
+                return solve_problem(
+                    self.problem(),
+                    query=query,
+                    max_solutions=max_solutions,
+                    limits=limits,
+                    only=only,
+                )
+            with obs.collect() as collector:
+                result = solve_problem(
+                    self.problem(),
+                    query=query,
+                    max_solutions=max_solutions,
+                    limits=limits,
+                    only=only,
+                )
+            result.stats = collector
+            return result

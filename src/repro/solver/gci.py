@@ -44,7 +44,7 @@ bridge-ε choices, exactly one choice per concatenation in the group.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
 from .. import obs
@@ -52,6 +52,7 @@ from ..automata import ops
 from ..automata.dfa import minimize_nfa
 from ..automata.equivalence import equivalent, is_subset
 from ..automata.nfa import BridgeTag, Nfa
+from ..cache import CacheLimits, active_cache
 from ..constraints.depgraph import DepGraph, Node
 
 __all__ = ["GciLimits", "solve_group", "group_solutions"]
@@ -65,6 +66,12 @@ class GciLimits:
     disjunctive solutions but requires eager enumeration; turn it off
     (or set ``max_solutions=1``) to get the paper's stream-the-first-
     solution behaviour (Sec. 3.5).
+
+    ``cache`` requests a solver-scoped language cache
+    (:class:`repro.cache.LangCache`) for the solve: the worklist solver
+    activates one with these limits when no cache is already active.
+    ``None`` leaves caching to the caller (:class:`RegLangSolver`
+    installs its own).
     """
 
     max_solutions: Optional[int] = None
@@ -74,6 +81,7 @@ class GciLimits:
     maximize: bool = True
     max_maximize_rounds: int = 3
     minimize_leaves: bool = False
+    cache: Optional[CacheLimits] = None
 
 
 @dataclass
@@ -113,17 +121,25 @@ def group_solutions(
     Enumeration is lazy unless ``prune_subsumed`` demands a global view.
     """
     limits = limits or GciLimits()
-    candidates = _enumerate(graph, group, limits)
     if not limits.prune_subsumed or limits.max_solutions == 1:
-        yield from candidates
+        yield from _enumerate(graph, group, limits)
         return
-    collected = list(candidates)
+    # Pruning needs the full candidate set: an early candidate can be
+    # subsumed by a *later* one, so truncating the enumeration at
+    # max_solutions before pruning could return fewer surviving
+    # solutions than exist.  Enumerate everything, prune, then cap.
+    collected = list(
+        _enumerate(graph, group, replace(limits, max_solutions=None))
+    )
     keep: list[dict[Node, Nfa]] = []
     for idx, solution in enumerate(collected):
         subsumed = False
         for jdx, other in enumerate(collected):
             if idx == jdx:
                 continue
+            # is_subset is signature-memoized when a language cache is
+            # active, so this scan costs one inclusion check per
+            # distinct language pair rather than per solution pair.
             if _pointwise_subset(solution, other):
                 # Equal solutions were already removed by dedupe, so
                 # pointwise ⊆ here means strictly smaller somewhere;
@@ -132,6 +148,8 @@ def group_solutions(
                 break
         if not subsumed:
             keep.append(solution)
+    if limits.max_solutions is not None:
+        keep = keep[: limits.max_solutions]
     yield from keep
 
 
@@ -176,7 +194,9 @@ def _enumerate(
 
     # -- Stage 5: enumerate combinations; slice, intersect shares,
     # filter, then close each candidate under Galois maximization.
+    cache = active_cache()
     accepted: list[dict[Node, Nfa]] = []
+    seen_keys: set[tuple[str, ...]] = set()
     yielded = 0
 
     for combo in itertools.product(*(edges_by_tag[tag] for tag in tag_order)):
@@ -186,18 +206,33 @@ def _enumerate(
                 machines, occurrences, chosen, var_nodes, leaves
             )
             duplicate = False
+            key: Optional[tuple[str, ...]] = None
             if solution is not None:
                 if limits.maximize:
                     solution = _maximize_solution(
                         solution, machines, constraint_specs, var_nodes, limits
                     )
-                duplicate = limits.dedupe and any(
-                    _pointwise_equivalent(solution, prior) for prior in accepted
-                )
+                if limits.dedupe:
+                    if cache is not None:
+                        # Signature-set membership replaces the
+                        # quadratic pairwise equivalence scan.
+                        key = tuple(
+                            cache.signature(solution[node])
+                            for node in var_nodes
+                        )
+                        duplicate = key in seen_keys
+                    else:
+                        duplicate = any(
+                            _pointwise_equivalent(solution, prior)
+                            for prior in accepted
+                        )
             sp.set("viable", solution is not None and not duplicate)
         if solution is None or duplicate:
             continue
-        accepted.append(solution)
+        if key is not None:
+            seen_keys.add(key)
+        else:
+            accepted.append(solution)
         yield solution
         yielded += 1
         if limits.max_solutions is not None and yielded >= limits.max_solutions:

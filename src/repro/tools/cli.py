@@ -35,6 +35,7 @@ from .. import obs
 from ..analysis.analyzer import analyze_source
 from ..analysis.attacks import ALL_ATTACKS, CONTAINS_QUOTE
 from ..analysis.corpus import build_corpus
+from ..cache import CacheLimits, LangCache
 from ..constraints.dsl import DslError, parse_problem
 from ..solver.worklist import solve
 
@@ -51,14 +52,28 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         "--trace", action="store_true",
         help="print the span tree (where the solve spent its time) to stderr",
     )
+    subparser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the language-signature cache (docs/CACHING.md)",
+    )
+    subparser.add_argument(
+        "--cache-entries", type=int, default=4096, metavar="N",
+        help="max entries in the language cache (default %(default)s)",
+    )
 
 
 def _run_observed(args: argparse.Namespace, run) -> int:
-    """Run a subcommand body, collecting telemetry when requested."""
+    """Run a subcommand body under the language cache, collecting
+    telemetry when requested."""
+    cache = LangCache(
+        CacheLimits(enabled=not args.no_cache, max_entries=args.cache_entries)
+    )
     if args.stats_json is None and not args.trace:
-        return run()
+        with cache.activate():
+            return run()
     with obs.collect() as collector:
-        code = run()
+        with cache.activate():
+            code = run()
     if args.trace:
         print(collector.render_trace(), file=sys.stderr)
     if args.stats_json is not None:

@@ -200,6 +200,52 @@ class TestBridgeTags:
     def test_tags_have_unique_labels(self):
         assert BridgeTag().label != BridgeTag().label
 
+    def test_fresh_tags_are_prefixed_and_unique(self):
+        tags = [BridgeTag.fresh("plus") for _ in range(8)]
+        labels = {tag.label for tag in tags}
+        assert len(labels) == len(tags)
+        assert all(label.startswith("plus") for label in labels)
+
+    def test_plus_mints_distinguishable_tags(self):
+        # Regression: every `plus` used to mint BridgeTag("plus"), so
+        # distinct + nodes were indistinguishable under label-keyed
+        # serialization.
+        from repro.automata import ops
+
+        first = ops.plus(Nfa.literal("a", ABC))
+        second = ops.plus(Nfa.literal("b", ABC))
+
+        def plus_tags(machine):
+            return {
+                edge.tag.label
+                for _, edge in machine.edges()
+                if edge.tag is not None and edge.tag.label.startswith("plus")
+            }
+
+        assert plus_tags(first)
+        assert plus_tags(second)
+        assert plus_tags(first).isdisjoint(plus_tags(second))
+
+    def test_tag_minting_is_thread_safe(self):
+        import threading
+
+        minted: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def mint():
+            barrier.wait()
+            local = [BridgeTag().label for _ in range(250)]
+            local += [BridgeTag.fresh("plus").label for _ in range(250)]
+            minted.extend(local)  # list.extend is atomic in CPython
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(minted) == 2000
+        assert len(set(minted)) == 2000
+
     def test_tagged_epsilon_preserved_by_copy(self):
         tag = BridgeTag("t")
         machine = Nfa()

@@ -1,5 +1,8 @@
 """Unit tests for the automata algebra."""
 
+import pytest
+
+from repro import obs
 from repro.automata import BridgeTag, CharSet, Nfa, ops
 
 from ..helpers import ABC, language, machine
@@ -189,3 +192,53 @@ class TestEmbed:
         source = Nfa.literal("xyz", ABC)
         mapping = ops.embed(target, source)
         assert set(mapping) == set(source.states)
+
+
+class TestOperationCounters:
+    """Every public op in ``ops.__all__`` must count itself in the
+    metrics registry (``optional`` historically failed to).
+
+    Three closures keep their paper-facing counter names: the registry
+    records ``prefixes``/``suffixes``/``substrings`` rather than the
+    function names.
+    """
+
+    COUNTER_NAMES = {
+        "prefix_closure": "prefixes",
+        "suffix_closure": "suffixes",
+        "factor_closure": "substrings",
+    }
+
+    def _call(self, name):
+        a = machine("ab*")
+        b = machine("a*b")
+        calls = {
+            "embed": lambda: ops.embed(Nfa(ABC), a),
+            "union": lambda: ops.union(a, b),
+            "concat": lambda: ops.concat(a, b),
+            "star": lambda: ops.star(a),
+            "plus": lambda: ops.plus(a),
+            "optional": lambda: ops.optional(a),
+            "eliminate_epsilon": lambda: ops.eliminate_epsilon(a),
+            "product": lambda: ops.product(a, b),
+            "intersect": lambda: ops.intersect(a, b),
+            "difference": lambda: ops.difference(a, b),
+            "reverse": lambda: ops.reverse(a),
+            "prefix_closure": lambda: ops.prefix_closure(a),
+            "suffix_closure": lambda: ops.suffix_closure(a),
+            "factor_closure": lambda: ops.factor_closure(a),
+            "left_quotient": lambda: ops.left_quotient(a, b),
+            "right_quotient": lambda: ops.right_quotient(a, b),
+        }
+        assert set(calls) == set(ops.__all__), "new op needs a counter test"
+        calls[name]()
+
+    @pytest.mark.parametrize("name", ops.__all__)
+    def test_public_op_increments_registry(self, name):
+        counter = "op." + self.COUNTER_NAMES.get(name, name)
+        with obs.collect() as collector:
+            self._call(name)
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters.get(counter, 0) >= 1, (
+            f"{name} did not increment {counter!r}"
+        )

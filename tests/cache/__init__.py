@@ -1,0 +1,1 @@
+"""Tests for the language-signature cache (:mod:`repro.cache`)."""

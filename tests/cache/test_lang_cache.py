@@ -1,0 +1,163 @@
+"""Unit tests for the language-signature cache layer (docs/CACHING.md)."""
+
+import pytest
+
+from repro import obs
+from repro.automata import Nfa, ops
+from repro.automata.dfa import determinize, minimize_nfa
+from repro.automata.equivalence import equivalent, is_subset
+from repro.cache import CacheLimits, LangCache, active_cache
+
+from ..helpers import AB, ABC, language, machine
+
+
+@pytest.fixture
+def cache():
+    instance = LangCache(CacheLimits())
+    with instance.activate():
+        yield instance
+
+
+class TestActivation:
+    def test_no_cache_by_default(self):
+        assert active_cache() is None
+
+    def test_activate_installs_and_removes(self):
+        instance = LangCache()
+        with instance.activate():
+            assert active_cache() is instance
+        assert active_cache() is None
+
+    def test_disabled_cache_never_installs(self):
+        with LangCache(CacheLimits(enabled=False)).activate():
+            assert active_cache() is None
+
+    def test_caches_do_not_stack(self):
+        outer, inner = LangCache(), LangCache()
+        with outer.activate():
+            with inner.activate():
+                assert active_cache() is outer
+            assert active_cache() is outer
+
+
+class TestSignatures:
+    def test_equal_language_equal_signature(self, cache):
+        a = machine("a|aa", ABC)
+        b = machine("a(a?)", ABC)
+        assert equivalent(a, b)
+        assert cache.signature(a) == cache.signature(b)
+
+    def test_different_language_different_signature(self, cache):
+        assert cache.signature(machine("a*", ABC)) != cache.signature(
+            machine("a+", ABC)
+        )
+
+    def test_signature_embeds_alphabet(self):
+        # Same structure over different universes must never collide.
+        ab = LangCache()
+        abc = LangCache()
+        assert ab.signature(Nfa.literal("a", AB)) != abc.signature(
+            Nfa.literal("a", ABC)
+        )
+
+    def test_stale_fingerprint_recomputed_after_mutation(self, cache):
+        a = machine("a", ABC)
+        sig_before = cache.signature(a)
+        state = a.add_state()
+        a.add_transition(next(iter(a.finals)), a.alphabet.universe, state)
+        a.finals = a.finals | {state}
+        assert cache.signature(a) != sig_before
+
+
+class TestMemoizedOperations:
+    def test_minimize_hits_across_equivalent_machines(self, cache):
+        a = machine("a*b|a*b", ABC)
+        b = machine("a*b", ABC)
+        first = minimize_nfa(a)
+        second = minimize_nfa(b)
+        assert language(first) == language(second) == language(a)
+        assert cache.hits.get("minimize", 0) >= 1
+
+    def test_minimize_returns_defensive_copy(self, cache):
+        a = machine("ab", ABC)
+        first = minimize_nfa(a)
+        first.finals = set()  # vandalize the returned machine
+        second = minimize_nfa(machine("ab", ABC))
+        assert language(second) == {"ab"}
+
+    def test_determinize_memoizes_per_object(self, cache):
+        a = machine("a*b", ABC)
+        assert determinize(a) is determinize(a)
+        assert cache.hits.get("determinize", 0) >= 1
+
+    def test_intersect_key_is_commutative(self, cache):
+        a, b = machine("a*b", ABC), machine("(a|b)*", ABC)
+        first = ops.intersect(a, b)
+        second = ops.intersect(b, a)
+        assert cache.hits.get("intersect", 0) >= 1
+        assert language(first) == language(second)
+
+    def test_intersect_rejects_alphabet_mismatch(self, cache):
+        with pytest.raises(ValueError):
+            ops.intersect(Nfa.literal("a", AB), Nfa.literal("a", ABC))
+
+    def test_is_subset_caches_both_verdicts(self, cache):
+        a, b = machine("ab", ABC), machine("a(b|c)", ABC)
+        for _ in range(2):
+            assert is_subset(a, b)
+            assert not is_subset(b, a)
+        assert cache.hits.get("is_subset", 0) >= 2
+
+    def test_equal_signatures_short_circuit_subset(self, cache):
+        a = machine("a|aa", ABC)
+        b = machine("a(a?)", ABC)
+        cache.signature(a), cache.signature(b)
+        before = dict(cache.misses)
+        assert is_subset(a, b)
+        assert cache.misses == before  # no inclusion search ran
+
+    def test_equivalent_is_signature_comparison(self, cache):
+        assert equivalent(machine("(ab)*", ABC), machine("(ab)*|", ABC))
+        assert not equivalent(machine("(ab)*", ABC), machine("(ab)+", ABC))
+
+    def test_eliminate_epsilon_is_struct_keyed(self, cache):
+        a = ops.concat(machine("a", ABC), machine("b", ABC))
+        first = ops.eliminate_epsilon(a)
+        second = ops.eliminate_epsilon(a.copy())  # same structure
+        assert cache.hits.get("eliminate_epsilon", 0) >= 1
+        assert language(first) == language(second) == {"ab"}
+
+
+class TestLimitsAndStats:
+    def test_lru_eviction_counts(self):
+        cache = LangCache(CacheLimits(max_entries=4))
+        with cache.activate():
+            for pattern in ("a", "b", "c", "ab", "ba", "abc", "cba"):
+                minimize_nfa(machine(pattern, ABC))
+        assert cache.evictions > 0
+        assert len(cache._table) <= 4
+
+    def test_stats_shape(self, cache):
+        minimize_nfa(machine("a*", ABC))
+        summary = cache.stats()
+        assert set(summary) == {
+            "entries",
+            "max_entries",
+            "hits",
+            "misses",
+            "evictions",
+            "hit_total",
+            "miss_total",
+        }
+        assert summary["miss_total"] >= 1
+
+    def test_counters_mirrored_into_obs(self):
+        cache = LangCache()
+        with obs.collect() as collector:
+            with cache.activate():
+                minimize_nfa(machine("a*b", ABC))
+                minimize_nfa(machine("a*b|a*b", ABC))
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters.get("cache.miss.minimize", 0) >= 1
+        assert counters.get("cache.hit.minimize", 0) >= 1
+        assert counters.get("op.signature", 0) >= 1

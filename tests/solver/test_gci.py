@@ -245,3 +245,63 @@ class TestLimits:
         for left, right in zip(plain, minimized):
             for node in left:
                 assert equivalent(left[node], right[node])
+
+
+class TestPruneTruncationRegression:
+    """``max_solutions=N`` with ``prune_subsumed=True`` must return N
+    *surviving* solutions whenever N exist.
+
+    The old implementation truncated the enumeration at N candidates
+    and pruned afterwards, so a subsumed early candidate both shrank
+    the returned count below N and could itself be returned despite
+    being non-maximal.  The ``ab|ab*|b`` group triggers it: the second
+    enumerated candidate ``({a}, {b})`` is strictly subsumed by the
+    third, ``({a}, b*)``.
+    """
+
+    def _solutions(self, **kwargs):
+        return run_group(
+            Subset(Var("x").concat(Var("y")), _const("c3", "ab|ab*|b")),
+            limits=GciLimits(maximize=False, **kwargs),
+        )
+
+    @staticmethod
+    def _survivors(candidates):
+        return [
+            sol
+            for i, sol in enumerate(candidates)
+            if not any(
+                j != i and all(is_subset(sol[n], other[n]) for n in sol)
+                for j, other in enumerate(candidates)
+            )
+        ]
+
+    def test_group_has_early_subsumed_candidate(self):
+        # Precondition for the regression: an early candidate is
+        # strictly subsumed by a later one.
+        candidates = self._solutions(prune_subsumed=False)
+        assert len(candidates) == 6
+        early, later = candidates[1], candidates[2]
+        assert all(is_subset(early[n], later[n]) for n in early)
+        assert not all(is_subset(later[n], early[n]) for n in later)
+
+    def test_capped_enumeration_returns_n_survivors(self):
+        full = self._solutions(prune_subsumed=True)
+        assert len(full) == 4
+        # The old code returned only 2 solutions here (candidates 0-2
+        # collected, the subsumed one pruned away).
+        capped = self._solutions(prune_subsumed=True, max_solutions=3)
+        assert len(capped) == 3
+        for got, want in zip(capped, full):
+            assert all(equivalent(got[n], want[n]) for n in got)
+
+    def test_capped_solutions_are_maximal(self):
+        # The old code returned the subsumed candidate itself at N=2.
+        capped = self._solutions(prune_subsumed=True, max_solutions=2)
+        assert len(capped) == 2
+        survivors = self._survivors(self._solutions(prune_subsumed=False))
+        for solution in capped:
+            assert any(
+                all(equivalent(solution[n], keep[n]) for n in solution)
+                for keep in survivors
+            )
