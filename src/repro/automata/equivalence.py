@@ -69,9 +69,13 @@ def _counterexample(a: Nfa, b: Nfa) -> Optional[str]:
 def is_subset(a: Nfa, b: Nfa) -> bool:
     """Decide ``L(a) ⊆ L(b)``.
 
-    Signature-memoized by the active language cache (equal signatures
-    short-circuit to True; other verdicts are remembered per signature
-    pair), which collapses the solver's repeated subsumption scans.
+    Memoized by the active language cache: when both operands'
+    signatures are already known, equal signatures short-circuit to
+    True and other verdicts are remembered per signature pair — which
+    collapses the solver's repeated subsumption scans.  Otherwise the
+    lazy on-the-fly check below runs (signatures are never forced, so
+    determinization blowup is no worse than uncached) and the verdict
+    is memoized structurally.
     """
     cache = active_cache()
     if cache is not None:
@@ -82,8 +86,10 @@ def is_subset(a: Nfa, b: Nfa) -> bool:
 def equivalent(a: Nfa, b: Nfa) -> bool:
     """Decide ``L(a) = L(b)``.
 
-    With a language cache active this is a signature comparison: the
-    canonical-form digests agree exactly when the languages do.
+    With a language cache active and both signatures already known this
+    is a signature comparison: the canonical-form digests agree exactly
+    when the languages do.  Otherwise the cache falls back to the lazy
+    bidirectional inclusion check and memoizes the verdict.
     """
     cache = active_cache()
     if cache is not None:

@@ -252,7 +252,12 @@ def intersect(a: Nfa, b: Nfa) -> Nfa:
 
     This provenance-free path is signature-memoized by the active
     language cache (``product`` itself never is: its provenance map and
-    tag images are structure-sensitive).
+    tag images are structure-sensitive).  The result is therefore only
+    *language*-faithful: a cache hit may return a language-equal machine
+    with different states, start/final sets, or bridge tags.  Callers
+    that go on to read structure off the result — bridge-image scanning,
+    the GCI stage-1/stage-2 machine construction — must call
+    :func:`product` directly instead.
     """
     obs.count_operation("intersect")
     cache = active_cache()

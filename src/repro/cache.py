@@ -44,13 +44,24 @@ and dropping the solver drops the cache.
 
 Caveats (see ``docs/CACHING.md``):
 
-* Cached NFA results are returned as fresh copies, so callers may
-  mutate them freely; the stored machine is private to the cache.
-* Cached results are language-faithful but not *tag*-faithful: a hit
-  may return a machine whose bridge tags came from a different (but
-  language-equal) computation.  The tag-sensitive GCI paths
-  (:func:`~repro.automata.ops.product` with provenance, bridge-edge
-  scanning) never go through the cache.
+* Cached NFA and DFA results are returned as fresh copies, so callers
+  may mutate them freely; the stored machine is private to the cache.
+* Cached results are language-faithful but not *structure*- or
+  *tag*-faithful: a hit may return a language-equal machine with
+  different states, start/final sets, or bridge tags.  The
+  structure-sensitive GCI paths therefore never go through the
+  signature-keyed cache: :func:`~repro.automata.ops.product` (with or
+  without provenance) and the stage-1/stage-2 machine construction in
+  ``gci._prepare_group`` call the uncached product directly, because
+  the bridge images enumerated in stage 4 are read off those machines'
+  start/final structure.  Signature-keyed ``intersect`` is reserved for
+  purely language-level uses (share intersection in
+  ``_slice_combination``, maximization caps).
+* ``is_subset``/``equivalent`` only use the signature fast path when
+  both operands' signatures are already known; otherwise the lazy
+  on-the-fly inclusion check runs (no forced determinization — which
+  could blow up on NFAs the lazy check handles easily) and its verdict
+  is memoized under structural keys.
 * Mutating a machine *after* the cache has fingerprinted it is detected
   by a cheap staleness stamp (state/transition counts plus start/final
   sets); in-place edits that preserve all of those would evade it, but
@@ -172,6 +183,18 @@ def _lang_digest(mdfa: "Dfa") -> str:
             ).encode()
         )
     return hasher.hexdigest()
+
+
+def _copy_dfa(dfa: "Dfa") -> "Dfa":
+    """A defensive copy sharing only immutable pieces (labels, ids)."""
+    from .automata.dfa import Dfa
+
+    return Dfa(
+        dfa.alphabet,
+        {state: list(moves) for state, moves in dfa.transitions.items()},
+        dfa.start,
+        set(dfa.finals),
+    )
 
 
 class LangCache:
@@ -318,28 +341,43 @@ class LangCache:
             self._put(("min", sig), mdfa.to_nfa().trim())
         return sig, True
 
+    def _sig_if_known(self, nfa: "Nfa") -> Optional[str]:
+        """The signature if one is already on record (per object or per
+        structural digest) — never forces a determinization."""
+        rec = self._rec(nfa)
+        if rec.sig is None:
+            known = self._get(("sig", self.struct_key(nfa)))
+            if known is not None:
+                rec.sig = known
+        return rec.sig
+
     # -- memoized operations -------------------------------------------
 
     def determinize(self, nfa: "Nfa") -> "Dfa":
-        """Memoized subset construction (per object, then per language)."""
+        """Memoized subset construction (per object, then per language).
+
+        The stored DFA is private to the cache — ``Dfa`` is mutable, so
+        a caller mutating a shared instance would silently poison every
+        entry derived from it; each call returns a fresh copy.
+        """
         from .automata.dfa import _determinize_instrumented
 
         rec = self._rec(nfa)
         if rec.dfa is not None:
             self._hit("determinize")
-            return rec.dfa
+            return _copy_dfa(rec.dfa)
         if rec.sig is not None:
             stored = self._get(("dfa", rec.sig))
             if stored is not None:
                 self._hit("determinize")
                 rec.dfa = stored
-                return stored
+                return _copy_dfa(stored)
         self._miss("determinize")
         dfa = _determinize_instrumented(nfa)
         rec.dfa = dfa
         if rec.sig is not None:
             self._put(("dfa", rec.sig), dfa)
-        return dfa
+        return _copy_dfa(dfa)
 
     def minimize(self, nfa: "Nfa") -> "Nfa":
         """Memoized canonical minimization, keyed by language signature."""
@@ -428,16 +466,29 @@ class LangCache:
         return result
 
     def is_subset(self, a: "Nfa", b: "Nfa") -> bool:
+        """Memoized inclusion.
+
+        Signatures are used only when both are *already* known (equal
+        signatures short-circuit to True; other verdicts are remembered
+        per signature pair) — computing one costs a subset construction
+        plus Hopcroft minimization, which on blowup-prone NFAs is far
+        worse than the lazy on-the-fly check with early counterexample
+        exit.  When either signature is missing, the lazy check runs
+        and its verdict is memoized under the structural key pair.
+        """
         from .automata.equivalence import counterexample
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")
-        sig_a = self.signature(a)
-        sig_b = self.signature(b)
-        if sig_a == sig_b:
-            self._hit("is_subset")
-            return True
-        key = ("subset", sig_a, sig_b)
+        sig_a = self._sig_if_known(a)
+        sig_b = self._sig_if_known(b)
+        if sig_a is not None and sig_b is not None:
+            if sig_a == sig_b:
+                self._hit("is_subset")
+                return True
+            key = ("subset", "lang", sig_a, sig_b)
+        else:
+            key = ("subset", "struct", self.struct_key(a), self.struct_key(b))
         stored = self._get(key)
         if stored is not None:
             self._hit("is_subset")
@@ -450,16 +501,36 @@ class LangCache:
         return result
 
     def equivalent(self, a: "Nfa", b: "Nfa") -> bool:
-        """Language equality *is* signature equality (canonical form)."""
+        """Memoized language equality.
+
+        When both signatures are already known this is a canonical-form
+        comparison (equality of signatures ⟺ equality of languages);
+        otherwise the lazy bidirectional inclusion check runs — never
+        forcing a determinization — and the verdict is memoized under
+        the (commutative) structural key pair.
+        """
+        from .automata.equivalence import counterexample
+
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")
-        sig_a, fresh_a = self._signature(a)
-        sig_b, fresh_b = self._signature(b)
-        if fresh_a or fresh_b:
-            self._miss("equivalent")
-        else:
+        sig_a = self._sig_if_known(a)
+        sig_b = self._sig_if_known(b)
+        if sig_a is not None and sig_b is not None:
             self._hit("equivalent")
-        return sig_a == sig_b
+            return sig_a == sig_b
+        key = ("equiv", "struct") + tuple(
+            sorted((self.struct_key(a), self.struct_key(b)))
+        )
+        stored = self._get(key)
+        if stored is not None:
+            self._hit("equivalent")
+            return stored == "y"
+        self._miss("equivalent")
+        result = (
+            counterexample(a, b) is None and counterexample(b, a) is None
+        )
+        self._put(key, "y" if result else "n")
+        return result
 
 
 # -- the contextvar scope ----------------------------------------------------

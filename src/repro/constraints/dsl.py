@@ -238,7 +238,12 @@ class _DslParser:
         machine = self.parse_const_chain()
         while self.peek().kind == "punct" and self.peek().value == "&":
             self.take()
-            machine = ops.intersect(machine, self.parse_const_chain()).trim()
+            # Uncached product, not ops.intersect: constant machines feed
+            # the GCI bridge-image scan, whose structure must not depend
+            # on whether a language cache happened to be active at parse
+            # time (each chain is parsed once, so caching buys nothing).
+            machine, _ = ops.product(machine, self.parse_const_chain())
+            machine = machine.trim()
         return machine
 
     def parse_const_chain(self):

@@ -65,7 +65,12 @@ class GciLimits:
     ``prune_subsumed`` implements the Maximal property across a group's
     disjunctive solutions but requires eager enumeration; turn it off
     (or set ``max_solutions=1``) to get the paper's stream-the-first-
-    solution behaviour (Sec. 3.5).
+    solution behaviour (Sec. 3.5).  Note the cost consequence: with
+    pruning on, ``max_solutions=N`` caps only the *returned* solutions —
+    every bridge combination (up to ``max_combinations``) is still
+    enumerated and maximized, because an early candidate can be subsumed
+    by a later one.  Use ``prune_subsumed=False`` or ``max_solutions=1``
+    when bounding work matters more than cross-solution maximality.
 
     ``cache`` requests a solver-scoped language cache
     (:class:`repro.cache.LangCache`) for the solve: the worklist solver
@@ -118,7 +123,11 @@ def group_solutions(
 
     Yields ``{var node: machine}`` dictionaries; an exhausted iterator
     with no yields means the group admits no (non-empty) solutions.
-    Enumeration is lazy unless ``prune_subsumed`` demands a global view.
+    Enumeration is lazy unless ``prune_subsumed`` demands a global view
+    — with pruning on (the default) and ``max_solutions != 1``, the full
+    combination space is enumerated before anything is yielded, so
+    ``max_solutions`` caps the output, not the work (see
+    :class:`GciLimits`).
     """
     limits = limits or GciLimits()
     if not limits.prune_subsumed or limits.max_solutions == 1:
@@ -260,7 +269,15 @@ def _prepare_group(
         else:
             base = const_machine(leaf)
         for const_node in graph.inbound_subsets(leaf):
-            base = ops.intersect(base, const_machine(const_node)).trim()
+            # Uncached product, never ops.intersect: this machine's
+            # start/final structure determines the stage-4 bridge images
+            # (|finals(left)| × |starts(right)| ε-edges per concat), and
+            # a signature-keyed cache hit may substitute a language-equal
+            # machine with different structure — merging distinct
+            # crossings and dropping maximal disjuncts depending on what
+            # the cache happened to see first.
+            base, _ = ops.product(base, const_machine(const_node))
+            base = base.trim()
         if limits.minimize_leaves:
             base = minimize_nfa(base)
         machines[leaf] = base

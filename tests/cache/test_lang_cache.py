@@ -3,10 +3,13 @@
 import pytest
 
 from repro import obs
-from repro.automata import Nfa, ops
+from repro.automata import CharSet, Nfa, ops
 from repro.automata.dfa import determinize, minimize_nfa
 from repro.automata.equivalence import equivalent, is_subset
 from repro.cache import CacheLimits, LangCache, active_cache
+from repro.constraints.terms import ConcatTerm, Const, Problem, Subset, Var
+from repro.solver import solve
+from repro.solver.gci import GciLimits
 
 from ..helpers import AB, ABC, language, machine
 
@@ -87,8 +90,22 @@ class TestMemoizedOperations:
 
     def test_determinize_memoizes_per_object(self, cache):
         a = machine("a*b", ABC)
-        assert determinize(a) is determinize(a)
+        determinize(a)
+        determinize(a)
         assert cache.hits.get("determinize", 0) >= 1
+
+    def test_determinize_returns_defensive_copy(self, cache):
+        # Dfa is mutable; sharing the stored instance would let any
+        # caller silently poison entries shared across language-equal
+        # machines (REVIEW.md).
+        a = machine("ab", ABC)
+        first = determinize(a)
+        first.finals.clear()  # vandalize the returned machine
+        assert determinize(a).accepts("ab")
+        b = machine("ab|ab", ABC)
+        cache.signature(a), cache.signature(b)
+        determinize(b).transitions.clear()  # vandalize the shared entry
+        assert determinize(b).accepts("ab")
 
     def test_intersect_key_is_commutative(self, cache):
         a, b = machine("a*b", ABC), machine("(a|b)*", ABC)
@@ -108,6 +125,26 @@ class TestMemoizedOperations:
             assert not is_subset(b, a)
         assert cache.hits.get("is_subset", 0) >= 2
 
+    def test_is_subset_never_forces_signatures(self, cache):
+        # Without already-known signatures the cache must run the lazy
+        # on-the-fly check: forcing a determinize+minimize here would
+        # make blowup-prone inclusions intractable (REVIEW.md).
+        a, b = machine("ab", ABC), machine("a(b|c)", ABC)
+        with obs.collect() as collector:
+            assert is_subset(a, b)
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters.get("op.signature", 0) == 0
+        assert counters.get("op.inclusion_check", 0) == 1
+
+    def test_equivalent_never_forces_signatures(self, cache):
+        a, b = machine("a|aa", ABC), machine("a(a?)", ABC)
+        with obs.collect() as collector:
+            assert equivalent(a, b)
+            assert equivalent(a, b)  # memoized verdict
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters.get("op.signature", 0) == 0
+        assert cache.hits.get("equivalent", 0) >= 1
+
     def test_equal_signatures_short_circuit_subset(self, cache):
         a = machine("a|aa", ABC)
         b = machine("a(a?)", ABC)
@@ -126,6 +163,84 @@ class TestMemoizedOperations:
         second = ops.eliminate_epsilon(a.copy())  # same structure
         assert cache.hits.get("eliminate_epsilon", 0) >= 1
         assert language(first) == language(second) == {"ab"}
+
+
+class TestStructureSensitivePaths:
+    """Regression for the REVIEW.md high-severity finding: GCI stage-1
+    leaf machines feed ``concat`` and the stage-4 bridge-image scan, so
+    their start/final *structure* — |finals(left)| × |starts(right)|
+    bridge edges per concatenation — must never come from a
+    signature-keyed cache hit.  A language-equal substitute with merged
+    finals would merge distinct crossings and drop disjuncts depending
+    on cache history."""
+
+    @staticmethod
+    def _one_final() -> Nfa:
+        # L = {a, ab} with a single final: 0-a→1(✓), 0-a→2, 2-b→1.
+        m = Nfa(AB)
+        s0, s1, s2 = m.add_state(), m.add_state(), m.add_state()
+        m.add_transition(s0, CharSet.of("a"), s1)
+        m.add_transition(s0, CharSet.of("a"), s2)
+        m.add_transition(s2, CharSet.of("b"), s1)
+        m.starts = {s0}
+        m.finals = {s1}
+        return m
+
+    @staticmethod
+    def _two_finals() -> Nfa:
+        # The same language with two finals: 0-a→1(✓), 1-b→2(✓).
+        m = Nfa(AB)
+        s0, s1, s2 = m.add_state(), m.add_state(), m.add_state()
+        m.add_transition(s0, CharSet.of("a"), s1)
+        m.add_transition(s1, CharSet.of("b"), s2)
+        m.starts = {s0}
+        m.finals = {s1, s2}
+        return m
+
+    @staticmethod
+    def _solve(const_machine: Nfa):
+        # v1 ⊆ C, v1·v2 ⊆ Σ*: one disjunct per bridge crossing, i.e.
+        # one per final of v1's stage-1 machine.  maximize=False keeps
+        # the per-crossing slices observable (Fig. 3 as written).
+        v1, v2 = Var("v1"), Var("v2")
+        constraints = [
+            Subset(v1, Const("c", const_machine)),
+            Subset(ConcatTerm((v1, v2)), Const("top", Nfa.universal(AB))),
+        ]
+        problem = Problem(constraints, alphabet=AB)
+        return solve(problem, limits=GciLimits(maximize=False))
+
+    @staticmethod
+    def _langs(solutions):
+        return {
+            frozenset(
+                (name, frozenset(language(m, max_length=3)))
+                for name, m in assignment.items()
+            )
+            for assignment in solutions
+        }
+
+    def test_stage1_leaf_structure_ignores_cache_history(self):
+        baseline = self._solve(self._two_finals())
+        assert len(baseline) == 2  # crossings after "a" and after "ab"
+        cache = LangCache()
+        with cache.activate():
+            # Adversarial warming: intersect Σ* with a language-equal
+            # machine whose finals are merged.  A signature-keyed
+            # stage-1 intersect would now substitute this 1-final
+            # structure for the 2-final constant below, collapsing the
+            # two crossings into one.
+            ops.intersect(Nfa.universal(AB), self._one_final())
+            poisoned = self._solve(self._two_finals())
+        assert self._langs(poisoned) == self._langs(baseline)
+
+    def test_stage1_solution_count_matches_cache_off(self):
+        for build in (self._one_final, self._two_finals):
+            uncached = self._solve(build())
+            cache = LangCache()
+            with cache.activate():
+                cached = self._solve(build())
+            assert self._langs(cached) == self._langs(uncached)
 
 
 class TestLimitsAndStats:
