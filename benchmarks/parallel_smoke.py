@@ -1,0 +1,100 @@
+"""CI smoke check: worker fan-out must never be a pessimization.
+
+Solves a wide CI-group (a 15x15 bridge-combination space, comfortably
+past the default ``min_parallel_combinations``) serially and with a
+4-worker pool, warmup first, best-of-N wall-clock each way, and fails
+(exit 1) if the parallel run is more than 10% slower than the serial
+one.  On hosts with fewer than 4 CPUs the timing gate is skipped (exit
+0 with a notice) — a pool of forks on one core measures scheduling, not
+the solver — but the correctness half still runs: the parallel answer
+set must match the serial one.  This is a guard rail, not a benchmark;
+the real measurements live in ``BENCH_solver.json`` (see
+``test_parallel_scaling.py``).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.parallel_smoke
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.constraints import parse_problem
+from repro.solver import solve
+from repro.solver.gci import GciLimits
+
+#: Three variables, two concatenations sharing the middle one; each
+#: constant has enough bridge crossings for a 225-combination space.
+WIDE = """
+var va, vb, vc;
+va <= /(a|b)*/;
+vb <= /(a|b)*/;
+vc <= /(a|b)*/;
+va . vb <= /(a|b){7}/;
+vb . vc <= /(a|b){7}/;
+"""
+
+ROUNDS = 3
+TOLERANCE = 1.10
+WORKERS = 4
+
+
+def _assignments(solutions) -> list[dict[str, str]]:
+    return [
+        {name: a.regex_str(name) for name in sorted(a.variables())}
+        for a in solutions
+    ]
+
+
+def _best_of(problem, workers: int) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        solve(problem, limits=GciLimits(workers=workers))
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    problem = parse_problem(WIDE)
+
+    # Correctness half: the pool must reproduce the serial answer set,
+    # same solutions in the same canonical order.
+    serial = solve(problem, limits=GciLimits(workers=0))
+    parallel = solve(
+        problem, limits=GciLimits(workers=2, min_parallel_combinations=1)
+    )
+    if _assignments(serial) != _assignments(parallel):
+        print("FAIL: parallel answer set differs from serial", file=sys.stderr)
+        return 1
+    print(f"answer sets agree ({len(serial)} solutions)")
+
+    cpus = os.cpu_count() or 1
+    if cpus < WORKERS:
+        print(
+            f"NOTICE: only {cpus} CPU(s); skipping the {WORKERS}-worker "
+            "timing gate (fork scheduling on a starved host is noise)"
+        )
+        return 0
+
+    solve(problem)  # warmup: imports, regex parsing caches, etc.
+    serial_best = _best_of(problem, workers=0)
+    parallel_best = _best_of(problem, workers=WORKERS)
+    ratio = parallel_best / serial_best
+
+    print(f"serial     best-of-{ROUNDS}: {serial_best * 1000:.1f} ms")
+    print(f"{WORKERS}-worker   best-of-{ROUNDS}: {parallel_best * 1000:.1f} ms")
+    print(f"ratio (parallel/serial): {ratio:.3f} (tolerance {TOLERANCE:.2f})")
+
+    if ratio > TOLERANCE:
+        print("FAIL: worker fan-out slows the solver down", file=sys.stderr)
+        return 1
+    print("OK: worker fan-out is not a pessimization")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -196,6 +196,15 @@ def product(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
     obs.count_operation("product")
     if a.alphabet != b.alphabet:
         raise ValueError("cannot intersect machines over different alphabets")
+    if a.is_empty() or b.is_empty():
+        # A structurally empty operand (no reachable final) makes the
+        # intersection empty without visiting a single pair.  The result
+        # is structure-faithful for every downstream consumer: an empty
+        # machine contributes no finals (and hence no bridge crossings)
+        # to later concatenations, exactly like the empty pair product
+        # would.
+        obs.increment_metric("cache.empty_shortcircuit")
+        return Nfa.never(a.alphabet), {}
     with obs.span(
         "product", states_a=a.num_states, states_b=b.num_states
     ) as sp:

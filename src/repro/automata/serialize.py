@@ -13,9 +13,9 @@ from typing import Any
 
 from .alphabet import Alphabet
 from .charset import CharSet
-from .nfa import BridgeTag, Nfa
+from .nfa import BridgeTag, Edge, Nfa
 
-__all__ = ["to_dot", "to_table", "to_json", "from_json"]
+__all__ = ["to_dot", "to_table", "to_json", "from_json", "to_dict", "from_dict"]
 
 
 def _label_text(label: CharSet | None) -> str:
@@ -85,6 +85,76 @@ def to_json(nfa: Nfa) -> str:
         ],
     }
     return json.dumps(doc, indent=2)
+
+
+def to_dict(nfa: Nfa) -> dict[str, Any]:
+    """An id-preserving plain-dict encoding for :func:`from_dict`.
+
+    Unlike :func:`to_json`/:func:`from_json` — which renumber states
+    densely and re-mint bridge tags per call — this round-trip keeps
+    state ids exactly as they are (including the gaps ``trim`` leaves)
+    and serializes tags by label only, so external references into the
+    machine (bridge-edge ``(src, dst)`` pairs, occurrence boundaries)
+    survive a process hop.  This is the encoding the parallel GCI
+    enumeration ships to worker processes.
+    """
+    return {
+        "alphabet": list(nfa.alphabet.universe.ranges),
+        "alphabet_name": nfa.alphabet.name,
+        "next_state": nfa._next_state,
+        "starts": sorted(nfa.starts),
+        "finals": sorted(nfa.finals),
+        "states": sorted(nfa.states),
+        "transitions": [
+            {
+                "src": src,
+                "dst": edge.dst,
+                "label": None if edge.label is None else list(edge.label.ranges),
+                "tag": edge.tag.label if edge.tag else None,
+            }
+            for src, edge in nfa.edges()
+        ],
+    }
+
+
+def from_dict(
+    doc: dict[str, Any],
+    tags: dict[str, BridgeTag] | None = None,
+    alphabet: Alphabet | None = None,
+) -> Nfa:
+    """Rebuild a machine encoded by :func:`to_dict`, ids intact.
+
+    ``tags`` is a shared label→tag registry: bridge tags are
+    identity-keyed throughout the solver (``edges_by_tag`` dicts,
+    occurrence boundary selectors), so every machine decoded for one
+    task must resolve a given label to the *same* ``BridgeTag`` object.
+    Pass one dict per decode batch; it is filled in as labels appear.
+    ``alphabet`` likewise lets a batch share one ``Alphabet`` instance
+    instead of re-deriving it per machine.
+    """
+    if alphabet is None:
+        alphabet = Alphabet(
+            CharSet([tuple(r) for r in doc["alphabet"]]),
+            name=doc.get("alphabet_name", "custom"),
+        )
+    if tags is None:
+        tags = {}
+    nfa = Nfa(alphabet)
+    nfa._next_state = doc["next_state"]
+    nfa._edges = {state: [] for state in doc["states"]}
+    for item in doc["transitions"]:
+        label = (
+            None
+            if item["label"] is None
+            else CharSet([tuple(r) for r in item["label"]])
+        )
+        tag = None
+        if item["tag"] is not None:
+            tag = tags.setdefault(item["tag"], BridgeTag(item["tag"]))
+        nfa._edges[item["src"]].append(Edge(label, item["dst"], tag))
+    nfa.starts = set(doc["starts"])
+    nfa.finals = set(doc["finals"])
+    return nfa
 
 
 def from_json(text: str) -> Nfa:

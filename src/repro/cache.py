@@ -480,6 +480,14 @@ class LangCache:
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")
+        if a.is_empty():
+            # ∅ ⊆ anything; no inclusion search, no memo entry needed.
+            obs.increment_metric("cache.empty_shortcircuit")
+            return True
+        if b.is_empty():
+            # a is non-empty here, so a ⊆ ∅ is immediately false.
+            obs.increment_metric("cache.empty_shortcircuit")
+            return False
         sig_a = self._sig_if_known(a)
         sig_b = self._sig_if_known(b)
         if sig_a is not None and sig_b is not None:

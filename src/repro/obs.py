@@ -64,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Collector",
+    "absorb",
     "collect",
     "current_collector",
     "span",
@@ -167,6 +168,32 @@ class Histogram:
             "max": self.max,
             "buckets": buckets,
         }
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bucket counts add elementwise when the boundary sets match
+        (they always do for instruments produced by this module's
+        fixed-boundary constants); otherwise only the scalar summary
+        fields are merged and the foreign observations land in the
+        overflow bucket, preserving ``count``/``sum`` totals.
+        """
+        incoming = list(snap.get("buckets", {}).values())
+        if len(incoming) == len(self.bucket_counts):
+            for i, value in enumerate(incoming):
+                self.bucket_counts[i] += value
+        else:
+            self.bucket_counts[-1] += sum(incoming)
+        self.count += snap.get("count", 0)
+        self.total += snap.get("sum", 0.0)
+        for field, pick in (("min", min), ("max", max)):
+            other = snap.get(field)
+            if other is None:
+                continue
+            current = getattr(self, field)
+            setattr(
+                self, field, other if current is None else pick(current, other)
+            )
 
     def __repr__(self) -> str:
         return f"<Histogram count={self.count} sum={self.total:g}>"
@@ -291,6 +318,13 @@ class Span:
         )
 
 
+def _iter_spans(root: Span) -> Iterator[Span]:
+    """All strict descendants of ``root``, depth first."""
+    for child in root.children:
+        yield child
+        yield from _iter_spans(child)
+
+
 class SpanHandle:
     """What an active ``with span(...)`` block yields: an attribute
     setter fanning out to the span object of every active collector."""
@@ -377,6 +411,43 @@ class Collector:
                 if isinstance(value, (int, float)):
                     sizes.observe(value)
 
+    # -- merging child snapshots ---------------------------------------
+
+    def absorb(self, snapshot: dict[str, Any], label: str = "worker") -> None:
+        """Merge another collector's :meth:`to_dict` export into this one.
+
+        This is how the parallel GCI layer keeps ``--stats-json``
+        accurate: each worker process runs its chunk under a private
+        collector, ships the snapshot back, and the parent folds it in —
+        counters and histograms add into the registry, and the child's
+        trace tree is grafted under the currently open span as a
+        ``label`` node so per-worker time/state attribution survives.
+        """
+        metrics = snapshot.get("metrics") or {}
+        for name, value in (metrics.get("counters") or {}).items():
+            self.metrics.counter(name).inc(value)
+        for name, value in (metrics.get("gauges") or {}).items():
+            gauge = self.metrics.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, snap in (metrics.get("histograms") or {}).items():
+            boundaries = tuple(
+                float(key[3:])
+                for key in snap.get("buckets", {})
+                if key != "inf"
+            )
+            self.metrics.histogram(name, boundaries or DURATION_BUCKETS
+                                   ).merge_snapshot(snap)
+        trace = snapshot.get("trace")
+        if trace is not None:
+            child = Span.from_dict(trace)
+            child.name = label
+            recorded = 1 + sum(1 for _ in _iter_spans(child))
+            if self._recorded + recorded <= self.max_recorded_spans:
+                self._stack[-1].children.append(child)
+                self._recorded += recorded
+            else:
+                self.metrics.counter("spans_dropped").inc(recorded)
+
     # -- export --------------------------------------------------------
 
     @property
@@ -439,6 +510,36 @@ def collect(max_recorded_spans: int = 10_000) -> Iterator[Collector]:
             yield collector
     finally:
         collector.root.duration = time.perf_counter() - started
+
+
+def absorb(snapshot: dict[str, Any], label: str = "worker") -> None:
+    """Fold a child collector's exported snapshot into every active sink.
+
+    Collectors merge metrics and graft the child trace
+    (:meth:`Collector.absorb`); legacy :class:`repro.stats.CostTracker`
+    sinks receive the child's ``states_visited`` total and operation
+    counts, so ``measure()`` blocks stay accurate when part of the work
+    ran in worker processes.  A no-op when nothing is active.
+    """
+    active = _sinks.get()
+    if active is None:
+        return
+    counters = (snapshot.get("metrics") or {}).get("counters") or {}
+    states = counters.get("states_visited", 0)
+    operations = {
+        name[3:]: value
+        for name, value in counters.items()
+        if name.startswith("op.") and value
+    }
+    for sink in active:
+        if getattr(sink, "handles_spans", False):
+            sink.absorb(snapshot, label)
+        else:
+            if states:
+                sink.visit(states)
+            fold = getattr(sink, "absorb_operations", None)
+            if fold is not None:
+                fold(operations)
 
 
 def current_collector() -> Optional[Collector]:

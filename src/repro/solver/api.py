@@ -12,6 +12,7 @@ True
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from .. import obs
@@ -42,8 +43,12 @@ class RegLangSolver:
         self,
         alphabet: Alphabet = BYTE_ALPHABET,
         cache: Optional[CacheLimits] = None,
+        workers: Optional[int] = None,
     ):
         self.alphabet = alphabet
+        # Default fan-out for solves (see repro.parallel): None defers
+        # to GciLimits/DPRLE_WORKERS, 0 forces serial, N>0 uses a pool.
+        self.workers = workers
         self._constraints: list[Subset] = []
         self._vars: dict[str, Var] = {}
         self._consts: dict[str, Const] = {}
@@ -155,6 +160,8 @@ class RegLangSolver:
         reuse signatures and memoized automata across calls.  Construct
         the solver with ``CacheLimits(enabled=False)`` to opt out.
         """
+        if self.workers is not None and (limits is None or limits.workers is None):
+            limits = replace(limits or GciLimits(), workers=self.workers)
         with self.cache.activate():
             if not collect_stats:
                 return solve_problem(

@@ -21,6 +21,7 @@ Solving a dependency graph proceeds in the paper's three stages:
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Optional
 
 from .. import obs
@@ -146,6 +147,32 @@ def _solve_graph(
                 if any(node.is_var and node.name in wanted for node in group)
             ]
         solve_span.set("groups", len(groups))
+
+        # With workers configured, solve every group up-front on one
+        # shared process pool (independent-group scheduling): the
+        # groups are disjoint, so the per-item re-enumeration below
+        # would recompute identical solution lists anyway.  The BFS
+        # then replays the cached lists, so ordering, caps, and the
+        # resulting SolutionSet are exactly the serial path's.
+        from ..parallel import resolve_workers, solve_groups
+
+        # The BFS below consumes at most max(1, max_solutions) solutions
+        # per group, so push that bound down into the group enumeration:
+        # group_solutions yields exactly the same prefix either way, and
+        # the streaming consumer can use the cap to stop enumerating
+        # bridge combinations early (see gci._consume).
+        group_limits = limits
+        if max_solutions is not None:
+            per_group = max(1, max_solutions)
+            if limits.max_solutions is None or per_group < limits.max_solutions:
+                group_limits = replace(limits, max_solutions=per_group)
+
+        workers = resolve_workers(limits.workers)
+        cached: Optional[list[list]] = None
+        if workers > 0 and groups:
+            take = max(1, max_solutions) if max_solutions is not None else None
+            cached = solve_groups(graph, groups, group_limits, workers, take)
+
         assignments: list[Assignment] = []
         queue: deque[tuple[int, dict[str, Nfa]]] = deque([(0, base)])
         iterations = 0
@@ -162,7 +189,12 @@ def _solve_graph(
             ) as iter_span:
                 group = groups[group_index]
                 produced = 0
-                for solution in group_solutions(graph, group, limits):
+                source = (
+                    cached[group_index]
+                    if cached is not None
+                    else group_solutions(graph, group, group_limits)
+                )
+                for solution in source:
                     mapping = dict(partial)
                     for node, machine in solution.items():
                         mapping[node.name] = machine

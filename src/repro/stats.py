@@ -46,6 +46,12 @@ class CostTracker:
     def record(self, name: str) -> None:
         self.operations[name] = self.operations.get(name, 0) + 1
 
+    def absorb_operations(self, operations: dict[str, int]) -> None:
+        """Fold bulk operation counts from a worker snapshot in
+        (:func:`repro.obs.absorb`); ``visit`` handles the state total."""
+        for name, count in operations.items():
+            self.operations[name] = self.operations.get(name, 0) + count
+
     def __repr__(self) -> str:
         ops = ", ".join(f"{k}={v}" for k, v in sorted(self.operations.items()))
         return f"<CostTracker states_visited={self.states_visited} {ops}>"

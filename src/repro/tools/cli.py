@@ -37,6 +37,7 @@ from ..analysis.attacks import ALL_ATTACKS, CONTAINS_QUOTE
 from ..analysis.corpus import build_corpus
 from ..cache import CacheLimits, LangCache
 from ..constraints.dsl import DslError, parse_problem
+from ..solver.gci import GciLimits
 from ..solver.worklist import solve
 
 __all__ = ["main"]
@@ -60,6 +61,20 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         "--cache-entries", type=int, default=4096, metavar="N",
         help="max entries in the language cache (default %(default)s)",
     )
+    subparser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan the GCI bridge-combination enumeration out across N "
+        "worker processes (docs/PARALLELISM.md); 0 forces serial, "
+        "default honours the DPRLE_WORKERS environment variable",
+    )
+
+
+def _cli_limits(args: argparse.Namespace) -> Optional[GciLimits]:
+    """GCI limits from CLI flags; None when every flag is at its
+    default (so library defaults — including DPRLE_WORKERS — apply)."""
+    if args.workers is None:
+        return None
+    return GciLimits(workers=args.workers)
 
 
 def _run_observed(args: argparse.Namespace, run) -> int:
@@ -191,7 +206,11 @@ def _run_solve(args: argparse.Namespace) -> int:
 
 def _solve_and_print(args: argparse.Namespace, problem) -> int:
     started = time.perf_counter()
-    solutions = solve(problem, max_solutions=args.max_solutions)
+    solutions = solve(
+        problem,
+        max_solutions=args.max_solutions,
+        limits=_cli_limits(args),
+    )
     elapsed = time.perf_counter() - started
 
     if not solutions.satisfiable:
@@ -225,6 +244,7 @@ def _analyze_and_print(args: argparse.Namespace, source: str) -> int:
         file_name=str(args.file),
         attack=attack,
         first_only=not args.all_sinks,
+        limits=_cli_limits(args),
     )
     print(f"{args.file}: |FG| = {report.num_blocks} basic blocks")
     if not report.findings:

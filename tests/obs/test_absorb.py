@@ -1,0 +1,87 @@
+"""Folding a child collector's snapshot into the parent's sinks.
+
+``obs.absorb`` is the parent half of the worker-telemetry protocol
+(repro.parallel): counters add, gauges max, histograms merge
+bucketwise, the child trace is grafted under the current span, and
+legacy CostTracker sinks receive states/operations.
+"""
+
+from repro import obs, stats
+
+
+def _child_snapshot() -> dict:
+    with obs.collect() as child:
+        with obs.span("inner_work", detail=1):
+            obs.visit_states(7)
+            obs.count_operation("product")
+            obs.count_operation("product")
+        obs.increment_metric("cache.hit.intersect", 3)
+        child.metrics.gauge("cache.entries").set(5)
+        child.metrics.histogram("span.duration.product").observe(0.25)
+    return child.to_dict()
+
+
+def test_counters_and_states_merge():
+    snapshot = _child_snapshot()
+    with obs.collect() as parent:
+        obs.visit_states(2)
+        obs.absorb(snapshot)
+    counters = parent.metrics.snapshot()["counters"]
+    assert parent.states_visited == 9  # 2 local + 7 absorbed
+    assert counters["cache.hit.intersect"] == 3
+    assert counters["op.product"] == 2
+
+
+def test_absorb_is_cumulative():
+    snapshot = _child_snapshot()
+    with obs.collect() as parent:
+        obs.absorb(snapshot)
+        obs.absorb(snapshot)
+    counters = parent.metrics.snapshot()["counters"]
+    assert counters["cache.hit.intersect"] == 6
+    assert parent.states_visited == 14
+
+
+def test_gauges_take_max_and_histograms_merge():
+    snapshot = _child_snapshot()
+    with obs.collect() as parent:
+        parent.metrics.gauge("cache.entries").set(3)
+        obs.absorb(snapshot)
+        obs.absorb(snapshot)
+    registry = parent.metrics.snapshot()
+    assert registry["gauges"]["cache.entries"] == 5  # max, not sum
+    hist = registry["histograms"]["span.duration.product"]
+    assert hist["count"] == 2
+
+
+def test_trace_grafted_under_current_span():
+    snapshot = _child_snapshot()
+    with obs.collect() as parent:
+        with obs.span("enumeration"):
+            obs.absorb(snapshot, label="worker")
+    (enumeration,) = parent.root.find("enumeration")
+    (worker,) = [c for c in enumeration.children if c.name == "worker"]
+    assert worker.find("inner_work")
+
+
+def test_cost_tracker_absorbs_states_and_operations():
+    snapshot = _child_snapshot()
+    with stats.measure() as cost:
+        obs.absorb(snapshot)
+    assert cost.states_visited == 7
+    assert cost.operations["product"] == 2
+
+
+def test_absorb_without_sinks_is_noop():
+    obs.absorb(_child_snapshot())  # must not raise
+
+
+def test_span_budget_respected():
+    snapshot = _child_snapshot()
+    with obs.collect(max_recorded_spans=1) as parent:
+        obs.absorb(snapshot)
+    counters = parent.metrics.snapshot()["counters"]
+    # The graft (root + inner_work = 2 spans) exceeds the budget of 1:
+    # dropped and accounted, never partially attached.
+    assert counters.get("spans_dropped", 0) >= 1
+    assert not parent.root.find("worker")

@@ -27,6 +27,7 @@ EXPECTATIONS = {
     "unsat.dprle": (False, None, {}),
     "xss.dprle": (True, 1, {"name": ("<script>alert1", "harmless")}),
     "const_exprs.dprle": (True, 1, {"v": ("42", "7")}),
+    "wide.dprle": (True, 8, {"va": ("a", "aaaaaaaa")}),
 }
 
 
