@@ -1,0 +1,80 @@
+"""CI smoke check: the pre-solve checker must never be a pessimization.
+
+Runs the satisfiable corpus workload (the Fig. 9 CI-group plus a chain
+of mutually dependent concatenations) with ``precheck`` off and on,
+warmup first, best-of-N wall-clock each way, and fails (exit 1) if the
+prechecked run is more than 5% slower than the plain one.  On sat
+inputs the abstract domains prove nothing and prune nothing, so the
+entire precheck cost is overhead — this guards the bound promised in
+``docs/DIAGNOSTICS.md``.  The unsat win (short-circuiting the whole
+enumeration) is pinned separately in
+``tests/check/test_precheck_equivalence.py``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.check_smoke
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.constraints import parse_problem
+from repro.solver import solve
+from repro.solver.gci import GciLimits
+
+DATA = pathlib.Path(__file__).parent.parent / "tests" / "data"
+
+SAT_CORPUS = [
+    "motivating.dprle",
+    "fig9.dprle",
+    "nested.dprle",
+    "disjunctive.dprle",
+    "wide.dprle",
+]
+
+ROUNDS = 5
+TOLERANCE = 1.05
+
+
+def _workload(problems, precheck: bool) -> None:
+    limits = GciLimits(precheck=precheck)
+    for problem in problems:
+        result = solve(problem, limits=limits)
+        assert result.satisfiable, "smoke corpus must be satisfiable"
+
+
+def _best_of(problems, precheck: bool) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        _workload(problems, precheck=precheck)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    problems = [
+        parse_problem((DATA / name).read_text()) for name in SAT_CORPUS
+    ]
+    _workload(problems, precheck=True)  # warmup: imports, regex caches
+
+    plain = _best_of(problems, precheck=False)
+    prechecked = _best_of(problems, precheck=True)
+    ratio = prechecked / plain
+
+    print(f"plain      best-of-{ROUNDS}: {plain * 1000:.1f} ms")
+    print(f"prechecked best-of-{ROUNDS}: {prechecked * 1000:.1f} ms")
+    print(f"ratio (prechecked/plain): {ratio:.3f} (tolerance {TOLERANCE:.2f})")
+
+    if ratio > TOLERANCE:
+        print("FAIL: precheck slows satisfiable solves down", file=sys.stderr)
+        return 1
+    print("OK: precheck is not a pessimization on sat inputs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

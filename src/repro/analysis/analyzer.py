@@ -43,6 +43,9 @@ class Finding:
     exploit_inputs: dict[str, str] = field(default_factory=dict)
     #: The full satisfying language per input, as regex text.
     input_languages: dict[str, str] = field(default_factory=dict)
+    #: Pre-solve checker findings for this sink's constraint system
+    #: (populated by ``analyze_source(check=True)``; see repro.check).
+    diagnostics: list = field(default_factory=list)
 
 
 @dataclass
@@ -80,6 +83,7 @@ def analyze_source(
     limits: Optional[GciLimits] = None,
     render_languages: bool = False,
     transducers: bool = False,
+    check: bool = False,
 ) -> FileReport:
     """Analyse one PHP file for injection vulnerabilities.
 
@@ -91,6 +95,12 @@ def analyze_source(
     ``render_languages`` additionally converts each satisfying language
     to regex text (state elimination) — informative but not free, so it
     is off by default.
+
+    ``check`` runs the :mod:`repro.check` pre-solve analyzer over each
+    sink's constraint system and attaches its diagnostics to the
+    finding (``Finding.diagnostics``) — structural warnings, domain
+    unsatisfiability proofs, and combination-space predictions
+    alongside the exploit inputs.
 
     ``transducers`` enables the precise sanitizer models of
     :mod:`repro.analysis.sanitizers`: known string functions become
@@ -114,7 +124,7 @@ def analyze_source(
 
         for query in executor.run_cfg(cfg):
             finding = _solve_query(
-                query, file_name, solver_limits, render_languages
+                query, file_name, solver_limits, render_languages, check
             )
             report.findings.append(finding)
             if first_only and finding.vulnerable:
@@ -129,8 +139,14 @@ def _solve_query(
     file_name: str,
     limits: GciLimits,
     render_languages: bool,
+    check: bool = False,
 ) -> Finding:
     problem = query.problem()
+    diagnostics: list = []
+    if check:
+        from ..check import check_problem
+
+        diagnostics = check_problem(problem).sorted_diagnostics()
     started = time.perf_counter()
     # The paper generates testcases from the first satisfying
     # assignment, so one solution suffices (Sec. 3.5: "we can generate
@@ -159,6 +175,7 @@ def _solve_query(
         num_constraints=query.num_constraints,
         solve_seconds=elapsed,
         vulnerable=False,
+        diagnostics=diagnostics,
     )
     for assignment in solutions.nonempty():
         refined = _refine_through_transducers(query, assignment)

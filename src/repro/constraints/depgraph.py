@@ -16,7 +16,7 @@ information flows backwards through concatenations (paper Sec. 3.4.1's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..automata.alphabet import Alphabet
@@ -55,10 +55,15 @@ class Node:
 
 @dataclass(frozen=True)
 class SubsetEdge:
-    """``source →⊆ target``: requires ⟦target⟧ ⊆ ⟦source⟧."""
+    """``source →⊆ target``: requires ⟦target⟧ ⊆ ⟦source⟧.
+
+    ``line`` is the DSL source line of the originating constraint (for
+    diagnostics; excluded from equality like ``Subset.line``).
+    """
 
     source: Node  # always a constant
     target: Node
+    line: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.source} →⊆ {self.target}"
@@ -109,10 +114,12 @@ class DepGraph:
         self.nodes.add(node)
         return node
 
-    def add_subset(self, source: Node, target: Node) -> None:
+    def add_subset(
+        self, source: Node, target: Node, line: Optional[int] = None
+    ) -> None:
         if not source.is_const:
             raise ValueError("subset edge source must be a constant")
-        self.subset_edges.append(SubsetEdge(source, target))
+        self.subset_edges.append(SubsetEdge(source, target, line=line))
 
     def add_concat(self, left: Node, right: Node) -> Node:
         result = self.fresh_temp()
@@ -295,5 +302,5 @@ def build_graph(problem: Problem) -> tuple[DepGraph, dict[str, Node]]:
     for constraint in problem.constraints:
         target = visit(constraint.lhs)
         source = graph.const_node(constraint.rhs)
-        graph.add_subset(source, target)
+        graph.add_subset(source, target, line=constraint.line)
     return graph, var_nodes

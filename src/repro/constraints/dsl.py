@@ -32,21 +32,40 @@ Syntax
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from ..automata.alphabet import BYTE_ALPHABET, Alphabet
+from ..regex import MatchSpec, RegexSyntaxError
 from ..regex import parse as parse_regex
 from ..regex import parse_exact, to_nfa
+from ..regex.ast import Regex
 from .terms import ConcatTerm, Const, Problem, Subset, Term, Var
 
-__all__ = ["DslError", "parse_problem", "format_problem"]
+__all__ = ["DslError", "SourceMap", "parse_problem", "format_problem"]
 
 
 class DslError(ValueError):
-    """A syntax or semantic error in a constraint file."""
+    """A syntax or semantic error in a constraint file.
 
-    def __init__(self, line: int, message: str):
+    Carries a stable diagnostic code (see ``docs/DIAGNOSTICS.md``):
+    ``D001`` syntax errors, ``D002`` undeclared names, ``D003`` a
+    variable on a right-hand side, ``D004`` invalid regexes.
+    """
+
+    def __init__(self, line: int, message: str, code: str = "D001"):
         self.line = line
+        self.message = message
+        self.code = code
         super().__init__(f"line {line}: {message}")
+
+
+@dataclass
+class SourceMap:
+    """Line spans the DSL front end recorded for diagnostics."""
+
+    #: Variable name -> line of its ``var`` declaration.
+    var_decls: dict[str, int] = field(default_factory=dict)
+    #: Named-constant name -> line of its ``let`` definition.
+    const_defs: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -144,6 +163,7 @@ class _DslParser:
         self.named_consts: dict[str, Const] = {}
         self.anon_consts: dict[str, Const] = {}
         self.constraints: list[Subset] = []
+        self.source_map = SourceMap()
 
     # -- token helpers ----------------------------------------------------
 
@@ -174,7 +194,9 @@ class _DslParser:
                 self.parse_constraint()
         if not self.constraints:
             raise DslError(self.peek().line, "no constraints in input")
-        return Problem(self.constraints, alphabet=self.alphabet)
+        problem = Problem(self.constraints, alphabet=self.alphabet)
+        problem.source_map = self.source_map
+        return problem
 
     def parse_var_decl(self) -> None:
         self.take()  # 'var'
@@ -185,6 +207,7 @@ class _DslParser:
             if token.value in self.named_consts:
                 raise DslError(token.line, f"{token.value!r} is already a constant")
             self.variables[token.value] = Var(token.value)
+            self.source_map.var_decls.setdefault(token.value, token.line)
             nxt = self.take()
             if nxt.kind == "punct" and nxt.value == ",":
                 continue
@@ -205,6 +228,7 @@ class _DslParser:
         self.expect_punct(":=")
         const = self.parse_const_value(name)
         self.named_consts[name] = const
+        self.source_map.const_defs.setdefault(name, name_token.line)
         self.expect_punct(";")
 
     def parse_const_value(self, name: str) -> Const:
@@ -262,10 +286,9 @@ class _DslParser:
         if token.kind == "string":
             return Nfa.literal(token.value, self.alphabet)
         if token.kind == "regex":
-            return to_nfa(parse_exact(token.value, self.alphabet), self.alphabet)
+            return to_nfa(self.compile_regex(token), self.alphabet)
         if token.kind == "matchregex":
-            spec = parse_regex(token.value, self.alphabet)
-            return to_nfa(spec.search(), self.alphabet)
+            return to_nfa(self.compile_match(token).search(), self.alphabet)
         if token.kind == "ident" and token.value in self.named_consts:
             return self.named_consts[token.value].machine
         if token.kind == "punct" and token.value == "(":
@@ -275,17 +298,27 @@ class _DslParser:
                 raise DslError(closing.line, "expected ')' in constant expression")
             return machine
         if token.kind == "ident":
-            raise DslError(token.line, f"undeclared name {token.value!r}")
+            if token.value in self.variables:
+                raise DslError(
+                    token.line,
+                    f"variable {token.value!r} cannot appear in a constant "
+                    "expression",
+                    code="D003",
+                )
+            raise DslError(
+                token.line, f"undeclared name {token.value!r}", code="D002"
+            )
         raise DslError(
             token.line, "expected a constant (string, /re/, m/re/, or name)"
         )
 
     def parse_constraint(self) -> None:
+        line = self.peek().line
         lhs = self.parse_expr()
         self.expect_punct("<=")
         rhs = self.parse_rhs()
         self.expect_punct(";")
-        self.constraints.append(Subset(lhs, rhs))
+        self.constraints.append(Subset(lhs, rhs, line=line))
 
     def parse_rhs(self) -> Const:
         """The constraint's right side: any constant expression.
@@ -298,7 +331,12 @@ class _DslParser:
         simple = following.kind == "punct" and following.value == ";"
         if token.kind == "ident" and simple:
             if token.value in self.variables:
-                raise DslError(token.line, "right-hand side must be a constant")
+                raise DslError(
+                    token.line,
+                    "right-hand side must be a constant, not variable "
+                    f"{token.value!r}",
+                    code="D003",
+                )
             if token.value in self.named_consts:
                 self.take()
                 return self.named_consts[token.value]
@@ -328,7 +366,9 @@ class _DslParser:
                 return self.variables[token.value]
             if token.value in self.named_consts:
                 return self.named_consts[token.value]
-            raise DslError(token.line, f"undeclared name {token.value!r}")
+            raise DslError(
+                token.line, f"undeclared name {token.value!r}", code="D002"
+            )
         if token.kind in ("string", "regex", "matchregex"):
             return self.intern_anon(token)
         raise DslError(token.line, f"expected an operand, found {token.value!r}")
@@ -340,16 +380,37 @@ class _DslParser:
             if token.kind == "string":
                 const = Const.from_literal(name, token.value, self.alphabet)
             elif token.kind == "regex":
-                machine = to_nfa(
-                    parse_exact(token.value, self.alphabet), self.alphabet
-                )
+                machine = to_nfa(self.compile_regex(token), self.alphabet)
                 const = Const(name, machine, source=f"/{token.value}/")
             else:
-                spec = parse_regex(token.value, self.alphabet)
-                machine = to_nfa(spec.search(), self.alphabet)
+                machine = to_nfa(
+                    self.compile_match(token).search(), self.alphabet
+                )
                 const = Const(name, machine, source=f"m/{token.value}/")
             self.anon_consts[key] = const
         return self.anon_consts[key]
+
+    # -- regex compilation (D004 on malformed patterns) -------------------
+
+    def compile_regex(self, token: _Token) -> "Regex":
+        try:
+            return parse_exact(token.value, self.alphabet)
+        except RegexSyntaxError as error:
+            raise DslError(
+                token.line,
+                f"invalid regex /{token.value}/: {error}",
+                code="D004",
+            ) from error
+
+    def compile_match(self, token: _Token) -> "MatchSpec":
+        try:
+            return parse_regex(token.value, self.alphabet)
+        except RegexSyntaxError as error:
+            raise DslError(
+                token.line,
+                f"invalid regex m/{token.value}/: {error}",
+                code="D004",
+            ) from error
 
 
 def parse_problem(text: str, alphabet: Alphabet = BYTE_ALPHABET) -> Problem:

@@ -12,8 +12,11 @@ variables; see :class:`Problem`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from .dsl import SourceMap
 
 from ..automata.alphabet import BYTE_ALPHABET, Alphabet
 from ..automata.nfa import Nfa
@@ -108,10 +111,16 @@ def _concat(left: Term, right: Term) -> ConcatTerm:
 
 @dataclass(frozen=True)
 class Subset:
-    """A single constraint ``lhs ⊆ rhs`` with a constant right-hand side."""
+    """A single constraint ``lhs ⊆ rhs`` with a constant right-hand side.
+
+    ``line`` is the 1-based source line when the constraint came from
+    the DSL front end (None for programmatic construction); it is
+    carried for diagnostics only and never affects equality.
+    """
 
     lhs: Term
     rhs: Const
+    line: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.lhs} ⊆ {self.rhs}"
@@ -157,6 +166,8 @@ class Problem:
             raise ValueError("an RMA instance needs at least one constraint")
         self.constraints = list(constraints)
         self.alphabet = alphabet
+        # Filled in by the DSL front end; None for programmatic builds.
+        self.source_map: Optional["SourceMap"] = None
         self._validate()
 
     def _validate(self) -> None:

@@ -44,11 +44,15 @@ class RegLangSolver:
         alphabet: Alphabet = BYTE_ALPHABET,
         cache: Optional[CacheLimits] = None,
         workers: Optional[int] = None,
+        precheck: bool = False,
     ):
         self.alphabet = alphabet
         # Default fan-out for solves (see repro.parallel): None defers
         # to GciLimits/DPRLE_WORKERS, 0 forces serial, N>0 uses a pool.
         self.workers = workers
+        # Opt-in sound pruning via the repro.check abstract domains
+        # (solution-preserving; see docs/DIAGNOSTICS.md).
+        self.precheck = precheck
         self._constraints: list[Subset] = []
         self._vars: dict[str, Var] = {}
         self._consts: dict[str, Const] = {}
@@ -162,6 +166,8 @@ class RegLangSolver:
         """
         if self.workers is not None and (limits is None or limits.workers is None):
             limits = replace(limits or GciLimits(), workers=self.workers)
+        if self.precheck and (limits is None or not limits.precheck):
+            limits = replace(limits or GciLimits(), precheck=True)
         with self.cache.activate():
             if not collect_stats:
                 return solve_problem(

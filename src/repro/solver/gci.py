@@ -95,6 +95,13 @@ class GciLimits:
     activates one with these limits when no cache is already active.
     ``None`` leaves caching to the caller (:class:`RegLangSolver`
     installs its own).
+
+    ``precheck`` runs the :mod:`repro.check` abstract domains over the
+    graph before solving and prunes what they prove empty — basic
+    variables short-circuit to ∅ without any products, and a group
+    proved unsatisfiable skips the enumeration entirely.  The pruning
+    is solution-preserving (see ``docs/DIAGNOSTICS.md``); counters
+    ``check.pruned_nodes`` / ``check.proved_unsat`` record its effect.
     """
 
     max_solutions: Optional[int] = None
@@ -107,6 +114,7 @@ class GciLimits:
     cache: Optional[CacheLimits] = None
     workers: Optional[int] = None
     min_parallel_combinations: int = 64
+    precheck: bool = False
 
 
 @dataclass

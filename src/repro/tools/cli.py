@@ -9,6 +9,13 @@ equivalent.  Three subcommands:
     :mod:`repro.constraints.dsl`; print each disjunctive assignment as
     regexes plus a concrete witness per variable.
 
+``check FILE``
+    Statically analyze a constraint file without solving: structural
+    lints, abstract-domain unsatisfiability proofs, and
+    combination-space predictions, as stable ``D``-coded diagnostics
+    (``docs/DIAGNOSTICS.md``); ``--json`` emits the ``dprle.check/1``
+    schema.
+
 ``analyze FILE``
     Run the SQL-injection analysis on a PHP file and print exploit
     inputs for each vulnerable sink.
@@ -18,7 +25,8 @@ equivalent.  Three subcommands:
 
 Examples::
 
-    dprle solve constraints.dprle
+    dprle solve constraints.dprle --precheck
+    dprle check constraints.dprle --json --fail-on warning
     dprle analyze vulnerable.php --attack tautology
     dprle corpus --out ./corpus
 """
@@ -72,9 +80,10 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
 def _cli_limits(args: argparse.Namespace) -> Optional[GciLimits]:
     """GCI limits from CLI flags; None when every flag is at its
     default (so library defaults — including DPRLE_WORKERS — apply)."""
-    if args.workers is None:
+    precheck = bool(getattr(args, "precheck", False))
+    if args.workers is None and not precheck:
         return None
-    return GciLimits(workers=args.workers)
+    return GciLimits(workers=args.workers, precheck=precheck)
 
 
 def _run_observed(args: argparse.Namespace, run) -> int:
@@ -122,7 +131,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--witness-only", action="store_true",
         help="print one concrete string per variable instead of regexes",
     )
+    solve_cmd.add_argument(
+        "--precheck", action="store_true",
+        help="run the repro.check abstract domains first and prune "
+        "provably-empty nodes (solution-preserving; docs/DIAGNOSTICS.md)",
+    )
     _add_observability_flags(solve_cmd)
+
+    check_cmd = commands.add_parser(
+        "check", help="statically analyze a constraint file without solving"
+    )
+    check_cmd.add_argument("file", type=pathlib.Path)
+    check_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable dprle.check/1 report",
+    )
+    check_cmd.add_argument(
+        "--fail-on", choices=["warning", "error"], default=None,
+        metavar="SEVERITY",
+        help="exit 1 when any diagnostic reaches SEVERITY "
+        "('warning' or 'error')",
+    )
 
     analyze_cmd = commands.add_parser("analyze", help="analyze a PHP file")
     analyze_cmd.add_argument("file", type=pathlib.Path)
@@ -135,6 +164,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     analyze_cmd.add_argument(
         "--all-sinks", action="store_true",
         help="solve every sink query instead of stopping at the first hit",
+    )
+    analyze_cmd.add_argument(
+        "--check", action="store_true",
+        help="run the pre-solve checker on each sink's constraint "
+        "system and print its diagnostics",
     )
     _add_observability_flags(analyze_cmd)
 
@@ -157,6 +191,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "solve":
         return _run_solve(args)
+    if args.command == "check":
+        return _run_check(args)
     if args.command == "analyze":
         return _run_analyze(args)
     if args.command == "graph":
@@ -165,6 +201,42 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_corpus(args)
     parser.error("unknown command")
     return 2
+
+
+def _print_dsl_error(file: pathlib.Path, error: DslError) -> None:
+    """Render a parse/semantic error as its stable diagnostic."""
+    code = getattr(error, "code", "D001")
+    print(
+        f"{file}:{error.line}: error[{code}]: {error.message}",
+        file=sys.stderr,
+    )
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    from ..check import Severity, check_problem, report_from_error
+
+    try:
+        text = args.file.read_text()
+    except OSError as error:
+        print(f"dprle: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = check_problem(parse_problem(text))
+        parse_failed = False
+    except DslError as error:
+        report = report_from_error(error)
+        parse_failed = True
+    if args.json:
+        print(report.to_json(str(args.file)))
+    else:
+        print(report.render(str(args.file)))
+    if parse_failed:
+        return 2
+    if args.fail_on is not None and report.at_least(
+        Severity.parse(args.fail_on)
+    ):
+        return 1
+    return 0
 
 
 def _run_graph(args: argparse.Namespace) -> int:
@@ -178,7 +250,7 @@ def _run_graph(args: argparse.Namespace) -> int:
     try:
         problem = parse_problem(text)
     except DslError as error:
-        print(f"dprle: {args.file}: {error}", file=sys.stderr)
+        _print_dsl_error(args.file, error)
         return 2
     graph, _ = build_graph(problem)
     dot = graph.to_dot(name=args.file.stem.replace("-", "_"))
@@ -199,7 +271,7 @@ def _run_solve(args: argparse.Namespace) -> int:
     try:
         problem = parse_problem(text)
     except DslError as error:
-        print(f"dprle: {args.file}: {error}", file=sys.stderr)
+        _print_dsl_error(args.file, error)
         return 2
     return _run_observed(args, lambda: _solve_and_print(args, problem))
 
@@ -245,6 +317,7 @@ def _analyze_and_print(args: argparse.Namespace, source: str) -> int:
         attack=attack,
         first_only=not args.all_sinks,
         limits=_cli_limits(args),
+        check=args.check,
     )
     print(f"{args.file}: |FG| = {report.num_blocks} basic blocks")
     if not report.findings:
@@ -261,6 +334,8 @@ def _analyze_and_print(args: argparse.Namespace, source: str) -> int:
         for name, value in sorted(finding.exploit_inputs.items()):
             if value:
                 print(f"    {name} = {value!r}")
+        for diagnostic in finding.diagnostics:
+            print(f"    {diagnostic.render()}")
         vulnerable = vulnerable or finding.vulnerable
     return 1 if vulnerable else 0
 

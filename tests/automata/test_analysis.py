@@ -122,3 +122,88 @@ class TestRandomString:
         rng = random.Random(3)
         samples = {random_string(target, rng) for _ in range(10)}
         assert "a" in samples
+
+
+class TestEdgeCasesForLengthDomain:
+    """Edge cases the repro.check length-interval domain relies on:
+    ε-only machines, unreachable finals, and the empty language must
+    give exact answers, since abstract_of derives its interval bounds
+    from shortest_string/is_finite-style traversals."""
+
+    def _unreachable_final(self):
+        # start --a--> final, plus a second final no path reaches.
+        nfa = Nfa(ABC)
+        s, f, orphan = nfa.add_states(3)
+        nfa.add_char(s, "a", f)
+        nfa.set_start(s)
+        nfa.finals = {f, orphan}
+        return nfa
+
+    def _dead_cycle(self):
+        # A char cycle that cannot reach the (separate) final: the
+        # language is just "a", and finite despite the cycle.
+        nfa = Nfa(ABC)
+        s, f, loop = nfa.add_states(3)
+        nfa.add_char(s, "a", f)
+        nfa.add_char(s, "b", loop)
+        nfa.add_char(loop, "b", loop)
+        nfa.set_start(s)
+        nfa.set_final(f)
+        return nfa
+
+    def test_epsilon_only_is_finite(self):
+        assert is_finite(Nfa.epsilon_only(ABC))
+
+    def test_epsilon_only_language_size(self):
+        assert language_size(Nfa.epsilon_only(ABC)) == 1
+
+    def test_epsilon_only_shortest(self):
+        assert shortest_string(Nfa.epsilon_only(ABC)) == ""
+
+    def test_empty_language_is_finite(self):
+        assert is_finite(Nfa.never(ABC))
+
+    def test_empty_language_shortest_none(self):
+        assert shortest_string(Nfa.never(ABC)) is None
+        assert language_size(Nfa.never(ABC)) == 0
+
+    def test_unreachable_final_ignored(self):
+        nfa = self._unreachable_final()
+        assert is_finite(nfa)
+        assert language_size(nfa) == 1
+        assert shortest_string(nfa) == "a"
+
+    def test_unreachable_char_cycle_stays_finite(self):
+        nfa = self._dead_cycle()
+        assert is_finite(nfa)
+        assert language_size(nfa) == 1
+        assert shortest_string(nfa) == "a"
+
+    def test_final_only_reachable_by_epsilon(self):
+        nfa = Nfa(ABC)
+        s, f = nfa.add_states(2)
+        nfa.add_epsilon(s, f)
+        nfa.set_start(s)
+        nfa.set_final(f)
+        assert is_finite(nfa)
+        assert language_size(nfa) == 1
+        assert shortest_string(nfa) == ""
+
+    def test_abstract_of_agrees_on_edge_cases(self):
+        from repro.check.domains import abstract_of
+
+        empty = abstract_of(Nfa.never(ABC))
+        assert empty.is_empty()
+
+        eps = abstract_of(Nfa.epsilon_only(ABC))
+        assert eps.length.to_list() == [0, 0]
+        assert eps.chars.is_empty()
+
+        one = abstract_of(self._unreachable_final())
+        assert one.length.to_list() == [1, 1]
+
+        finite = abstract_of(self._dead_cycle())
+        assert finite.length.to_list() == [1, 1]
+
+        infinite = abstract_of(machine("a+"))
+        assert infinite.length.to_list() == [1, None]

@@ -1,0 +1,79 @@
+"""Tests for the combination-space cost estimator.
+
+The estimate must be a sound ceiling: on every corpus file the real
+``gci.combinations_total`` telemetry may never exceed the prediction.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.check.cost import estimate_group, estimate_groups
+from repro.constraints.depgraph import build_graph
+from repro.constraints.dsl import parse_problem
+from repro.solver import solve
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+
+GROUPED = [
+    "motivating.dprle",
+    "disjunctive.dprle",
+    "fig9.dprle",
+    "nested.dprle",
+    "pushback.dprle",
+    "xss.dprle",
+    "wide.dprle",
+    "warn_wide.dprle",
+    "unsat_static.dprle",
+]
+
+
+def _graph(name):
+    problem = parse_problem((DATA / name).read_text())
+    graph, _ = build_graph(problem)
+    return problem, graph
+
+
+class TestEstimateShape:
+    def test_one_estimate_per_group(self):
+        _, graph = _graph("fig9.dprle")
+        estimates = estimate_groups(graph)
+        assert len(estimates) == len(graph.ci_groups())
+
+    def test_estimate_fields(self):
+        _, graph = _graph("motivating.dprle")
+        (group,) = graph.ci_groups()
+        estimate = estimate_group(graph, group)
+        assert estimate.concatenations == len(estimate.bridges) == 1
+        assert estimate.estimated_combinations >= 1
+        assert set(estimate.variables) <= set(estimate.nodes)
+        payload = estimate.to_dict()
+        assert payload["estimated_combinations"] == (
+            estimate.estimated_combinations
+        )
+
+    def test_total_is_product_of_bridges(self):
+        _, graph = _graph("wide.dprle")
+        (group,) = graph.ci_groups()
+        estimate = estimate_group(graph, group)
+        product = 1
+        for count in estimate.bridges.values():
+            product *= max(1, count)
+        assert estimate.estimated_combinations == product
+
+
+class TestSoundCeiling:
+    @pytest.mark.parametrize(
+        "name", GROUPED, ids=lambda n: n.split(".")[0]
+    )
+    def test_actual_combinations_never_exceed_estimate(self, name):
+        problem, graph = _graph(name)
+        predicted = sum(
+            e.estimated_combinations for e in estimate_groups(graph)
+        )
+        with obs.collect() as collector:
+            solve(problem)
+        counters = collector.to_dict()["metrics"]["counters"]
+        actual = counters.get("gci.combinations_total", 0)
+        assert actual <= predicted, (name, actual, predicted)

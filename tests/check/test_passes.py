@@ -1,0 +1,168 @@
+"""Tests for the structural checker passes and the corpus-wide pins."""
+
+import pathlib
+
+import pytest
+
+from repro.check import CheckLimits, Severity, check_problem
+from repro.constraints.dsl import DslError, parse_problem
+from repro.check.passes import report_from_error
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+
+
+def codes_of(text, limits=None):
+    report = check_problem(parse_problem(text), limits=limits)
+    return [d.code for d in report.sorted_diagnostics()]
+
+
+class TestStructuralPasses:
+    def test_clean_file_is_quiet(self):
+        assert codes_of('var v; v <= "a";') == []
+
+    def test_d010_unused_variable(self):
+        report = check_problem(
+            parse_problem('var v, unused; v <= "a";')
+        )
+        (d,) = [d for d in report.diagnostics if d.code == "D010"]
+        assert d.node == "unused"
+        assert d.line == 1
+
+    def test_d011_no_direct_subset(self):
+        # w appears only inside a concatenation.
+        codes = codes_of('var v, w; v <= "a"; v . w <= /[ab]*/;')
+        assert "D011" in codes
+
+    def test_d012_duplicate_constraint(self):
+        codes = codes_of("var v; v <= /a+/; v <= /a+/;")
+        assert "D012" in codes
+
+    def test_d013_subsumed_constraint(self):
+        report = check_problem(
+            parse_problem("var v; v <= /a/; v <= /[ab]*/;")
+        )
+        (d,) = [d for d in report.diagnostics if d.code == "D013"]
+        assert "/[ab]*/" not in d.message  # message names constants
+        assert d.severity is Severity.WARNING
+
+    def test_d013_skipped_above_state_cap(self):
+        codes = codes_of(
+            "var v; v <= /a/; v <= /[ab]*/;",
+            limits=CheckLimits(max_inclusion_states=1),
+        )
+        assert "D013" not in codes
+
+    def test_d013_not_fired_for_equivalent_constants(self):
+        # Equal languages subsume each other; neither is "wider".
+        codes = codes_of("var v; v <= /a|b/; v <= /[ab]/;")
+        assert "D013" not in codes
+
+    def test_d015_empty_rhs(self):
+        codes = codes_of("var v; v <= /a+/ & /b+/;")
+        assert "D015" in codes
+        assert "D020" in codes  # and the domain agrees v is empty
+
+    def test_constraint_lines_attached(self):
+        report = check_problem(
+            parse_problem("var v;\nv <= /a+/;\nv <= /a+/;\n")
+        )
+        (dup,) = [d for d in report.diagnostics if d.code == "D012"]
+        assert dup.line == 3
+
+    def test_d016_cycle_via_manual_graph(self):
+        # The DSL cannot build cyclic temps, so check the pass at the
+        # graph level through a hand-made problem is impossible too;
+        # instead pin that acyclic corpus files never report D016.
+        for path in sorted(DATA.glob("*.dprle")):
+            report = check_problem(parse_problem(path.read_text()))
+            assert not any(d.code == "D016" for d in report.diagnostics), path
+
+
+class TestDomainDiagnostics:
+    def test_d020_disjoint_constraints(self):
+        codes = codes_of("var v; v <= /a+/; v <= /b+/;")
+        assert "D020" in codes
+        assert "D021" not in codes  # no CI-group to refute
+
+    def test_d021_group_refuted(self):
+        codes = codes_of(
+            'var v; v <= /[ab]{5}/; "xx" . v <= /[abx]{0,5}/;'
+        )
+        assert "D020" in codes and "D021" in codes
+
+    def test_domains_payload_has_every_node(self):
+        report = check_problem(
+            parse_problem('var v; v <= /[ab]{2}/; "x" . v <= /.*/;')
+        )
+        kinds = {entry["kind"] for entry in report.domains.values()}
+        assert kinds == {"var", "const", "temp"}
+        v = report.domains["v"]
+        assert v["length"] == [2, 2]
+        assert v["empty"] is False
+
+
+class TestCostDiagnostics:
+    def test_d100_fires_above_threshold(self):
+        report = check_problem(
+            parse_problem((DATA / "warn_wide.dprle").read_text())
+        )
+        (d,) = [d for d in report.diagnostics if d.code == "D100"]
+        assert "--workers" in (d.hint or "")
+        (group,) = report.groups
+        assert group["warned"] is True
+        assert group["estimated_combinations"] > 2000
+
+    def test_wide_stays_below_default_threshold(self):
+        report = check_problem(
+            parse_problem((DATA / "wide.dprle").read_text())
+        )
+        assert not any(d.code == "D100" for d in report.diagnostics)
+
+    def test_threshold_is_configurable(self):
+        codes = codes_of(
+            (DATA / "wide.dprle").read_text(),
+            limits=CheckLimits(explosion_threshold=10),
+        )
+        assert "D100" in codes
+
+
+class TestCorpusPins:
+    """Every corpus file must check cleanly at `--fail-on error` level
+    and produce exactly these stable codes."""
+
+    EXPECTED = {
+        "motivating.dprle": set(),
+        "disjunctive.dprle": set(),
+        "fig9.dprle": set(),
+        "nested.dprle": set(),
+        "pushback.dprle": set(),
+        "unsat.dprle": {"D020"},
+        "xss.dprle": set(),
+        "const_exprs.dprle": set(),
+        "wide.dprle": set(),
+        "unsat_static.dprle": {"D020", "D021"},
+        "warn_wide.dprle": {"D100"},
+    }
+
+    @pytest.mark.parametrize(
+        "name", sorted(EXPECTED), ids=lambda n: n.split(".")[0]
+    )
+    def test_corpus_codes(self, name):
+        report = check_problem(parse_problem((DATA / name).read_text()))
+        assert {d.code for d in report.diagnostics} == self.EXPECTED[name]
+        assert not report.at_least(Severity.ERROR)
+
+    def test_every_corpus_file_pinned(self):
+        assert {p.name for p in DATA.glob("*.dprle")} == set(self.EXPECTED)
+
+
+class TestParseErrorReports:
+    def test_report_from_error_carries_code(self):
+        with pytest.raises(DslError) as excinfo:
+            parse_problem("var v; v <= w;")
+        report = report_from_error(excinfo.value)
+        (d,) = report.diagnostics
+        assert d.code == "D002"
+        assert d.severity is Severity.ERROR
+        assert d.line == 1
+        assert report.at_least(Severity.ERROR)
