@@ -178,7 +178,10 @@ def complement(nfa: Nfa) -> Nfa:
 
 def _complement_instrumented(nfa: Nfa) -> Nfa:
     obs.count_operation("complement")
-    return determinize(nfa).complemented().to_nfa()
+    with obs.span("complement", states_in=nfa.num_states) as sp:
+        result = determinize(nfa).complemented().to_nfa()
+        sp.set("states_out", result.num_states)
+        return result
 
 
 def minimize_dfa(dfa: Dfa) -> Dfa:

@@ -431,4 +431,7 @@ def right_quotient(language: Nfa, suffixes: Nfa) -> Nfa:
 
 def _right_quotient_instrumented(language: Nfa, suffixes: Nfa) -> Nfa:
     obs.count_operation("right_quotient")
-    return reverse(left_quotient(reverse(suffixes), reverse(language)))
+    with obs.span("right_quotient", states_in=language.num_states) as sp:
+        result = reverse(left_quotient(reverse(suffixes), reverse(language)))
+        sp.set("states_out", result.num_states)
+        return result

@@ -214,6 +214,7 @@ class LangCache:
         self.hits: dict[str, int] = {}
         self.misses: dict[str, int] = {}
         self.evictions = 0
+        self.signature_collisions = 0
 
     # -- activation ----------------------------------------------------
 
@@ -257,6 +258,7 @@ class LangCache:
             self._table.popitem(last=False)
             self.evictions += 1
             obs.increment_metric("cache.evictions")
+        obs.set_gauge("cache.entries", len(self._table))
 
     def stats(self) -> dict[str, Any]:
         """A JSON-ready summary of the cache's activity."""
@@ -266,6 +268,7 @@ class LangCache:
             "hits": dict(sorted(self.hits.items())),
             "misses": dict(sorted(self.misses.items())),
             "evictions": self.evictions,
+            "signature_collisions": self.signature_collisions,
             "hit_total": sum(self.hits.values()),
             "miss_total": sum(self.misses.values()),
         }
@@ -339,6 +342,16 @@ class LangCache:
             # The minimal machine is a free by-product of the signature;
             # stash it so minimize() on any equivalent machine hits.
             self._put(("min", sig), mdfa.to_nfa().trim())
+        else:
+            # A structurally distinct machine denoted an already-known
+            # language: the dedupe/memoization win the signature layer
+            # exists for.  (Digest collisions of *different* languages
+            # are not detectable here; this gauge counts convergence.)
+            self.signature_collisions += 1
+            obs.increment_metric("cache.signature_collisions")
+            obs.set_gauge(
+                "cache.signature_collisions", self.signature_collisions
+            )
         return sig, True
 
     def _sig_if_known(self, nfa: "Nfa") -> Optional[str]:

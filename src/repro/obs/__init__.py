@@ -72,6 +72,18 @@ __all__ = [
     "visit_states",
     "count_operation",
     "increment_metric",
+    "set_gauge",
+    "observe_value",
+    "progress",
+    "event",
+    # re-exported from the sibling modules (see bottom of file)
+    "Journal",
+    "journal_to",
+    "to_prometheus",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "render_report",
+    "diff_snapshots",
 ]
 
 
@@ -253,16 +265,26 @@ class Span:
     ``states_visited`` and ``operations`` cover the work done while
     this span was the *innermost* open one; descendants account for
     their own (use :meth:`total_states_visited` for the subtree sum).
+
+    ``start`` is the span's open time as an offset (seconds) from its
+    collector's epoch — spans of one collector share a timebase, which
+    is what lets the Chrome-trace exporter lay them out on a timeline.
+    ``cpu`` is the CPU time (``time.thread_time``) the opening thread
+    spent inside the span; comparing it against ``duration`` separates
+    compute-bound spans from ones waiting on the worker pool.
     """
 
     __slots__ = (
-        "name", "attrs", "duration", "states_visited", "operations", "children",
+        "name", "attrs", "duration", "cpu", "start",
+        "states_visited", "operations", "children",
     )
 
     def __init__(self, name: str, attrs: Optional[dict[str, Any]] = None):
         self.name = name
         self.attrs: dict[str, Any] = attrs or {}
         self.duration = 0.0
+        self.cpu = 0.0
+        self.start = 0.0
         self.states_visited = 0
         self.operations: dict[str, int] = {}
         self.children: list[Span] = []
@@ -282,7 +304,9 @@ class Span:
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "name": self.name,
+            "start_s": self.start,
             "duration_s": self.duration,
+            "cpu_s": self.cpu,
             "states_visited": self.states_visited,
         }
         if self.attrs:
@@ -297,6 +321,8 @@ class Span:
     def from_dict(cls, data: dict[str, Any]) -> "Span":
         out = cls(data["name"], dict(data.get("attrs", {})))
         out.duration = data.get("duration_s", 0.0)
+        out.cpu = data.get("cpu_s", 0.0)
+        out.start = data.get("start_s", 0.0)
         out.states_visited = data.get("states_visited", 0)
         out.operations = dict(data.get("operations", {}))
         out.children = [cls.from_dict(child) for child in data.get("children", [])]
@@ -357,7 +383,9 @@ class Collector:
     ``max_recorded_spans`` bounds trace memory on pathological runs
     (e.g. a 100k-combination bridge enumeration): beyond the cap, spans
     are still timed and aggregated into the metrics but not attached to
-    the tree, and the ``spans_dropped`` counter records how many.
+    the tree, the ``obs.spans_dropped`` counter records how many, and
+    the exported snapshot is marked ``truncated`` so downstream tooling
+    never mistakes a capped trace for a complete one.
     """
 
     handles_spans = True
@@ -366,9 +394,11 @@ class Collector:
         self.root = Span("trace")
         self.metrics = MetricsRegistry()
         self.max_recorded_spans = max_recorded_spans
+        self._epoch = time.perf_counter()
         self._stack: list[Span] = [self.root]
         self._recorded = 0
         self._visited_counter = self.metrics.counter("states_visited")
+        self._dropped_counter = self.metrics.counter("obs.spans_dropped")
 
     # -- event sinks (shared interface with stats.CostTracker) --------
 
@@ -385,16 +415,18 @@ class Collector:
 
     def open_span(self, name: str, attrs: Optional[dict[str, Any]]) -> Span:
         opened = Span(name, dict(attrs) if attrs else {})
+        opened.start = time.perf_counter() - self._epoch
         if self._recorded < self.max_recorded_spans:
             self._stack[-1].children.append(opened)
             self._recorded += 1
         else:
-            self.metrics.counter("spans_dropped").inc()
+            self._dropped_counter.inc()
         self._stack.append(opened)
         return opened
 
-    def close_span(self, closing: Span, duration: float) -> None:
+    def close_span(self, closing: Span, duration: float, cpu: float = 0.0) -> None:
         closing.duration = duration
+        closing.cpu = cpu
         # Tolerate mispaired exits (e.g. a generator abandoned mid-span)
         # by popping back to the matching frame.
         while len(self._stack) > 1:
@@ -446,7 +478,18 @@ class Collector:
                 self._stack[-1].children.append(child)
                 self._recorded += recorded
             else:
-                self.metrics.counter("spans_dropped").inc(recorded)
+                self._dropped_counter.inc(recorded)
+
+    # -- non-span event hooks ------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def progress(self, stage: str, done: float, total: float) -> None:
+        """Record enumeration progress as a pair of gauges; the journal
+        sink turns the same hook into heartbeat events with an ETA."""
+        self.metrics.gauge(f"progress.{stage}.done").set(done)
+        self.metrics.gauge(f"progress.{stage}.total").set(total)
 
     # -- export --------------------------------------------------------
 
@@ -455,9 +498,16 @@ class Collector:
         """Total NFA states visited while this collector was active."""
         return self._visited_counter.value
 
+    @property
+    def spans_dropped(self) -> int:
+        """Spans the ``max_recorded_spans`` cap kept out of the tree."""
+        return self._dropped_counter.value
+
     def to_dict(self) -> dict[str, Any]:
         return {
-            "schema": "dprle.obs/1",
+            "schema": "dprle.obs/2",
+            "truncated": self._dropped_counter.value > 0,
+            "spans_dropped": self._dropped_counter.value,
             "trace": self.root.to_dict(),
             "metrics": self.metrics.snapshot(),
         }
@@ -591,6 +641,65 @@ def increment_metric(name: str, amount: int = 1) -> None:
                 sink.metrics.counter(name).inc(amount)
 
 
+def set_gauge(name: str, value: float) -> None:
+    """Set a named gauge on every active collector-like sink.
+
+    Used for point-in-time readings (language-cache table size, worker
+    utilization, progress ratios) that counters cannot express.  A
+    no-op when nothing is collecting.
+    """
+    active = _sinks.get()
+    if active is not None:
+        for sink in active:
+            setter = getattr(sink, "set_gauge", None)
+            if setter is not None:
+                setter(name, value)
+
+
+def observe_value(name: str, value: float,
+                  boundaries: Optional[tuple[float, ...]] = None) -> None:
+    """Observe ``value`` into the named histogram of every active
+    collector-like sink (chunk durations, queue waits, ...)."""
+    active = _sinks.get()
+    if active is not None:
+        for sink in active:
+            if getattr(sink, "handles_spans", False):
+                sink.metrics.histogram(
+                    name, boundaries or DURATION_BUCKETS
+                ).observe(value)
+
+
+def progress(stage: str, done: float, total: float) -> None:
+    """Report enumeration progress to every sink that wants it.
+
+    Collectors record it as ``progress.<stage>.done/total`` gauges; the
+    structured journal (:mod:`repro.obs.journal`) emits throttled
+    heartbeat events carrying percent complete and an ETA, which is how
+    a long GCI stage-5 enumeration stays observable while it runs.  A
+    no-op when nothing is collecting.
+    """
+    active = _sinks.get()
+    if active is not None:
+        for sink in active:
+            hook = getattr(sink, "progress", None)
+            if hook is not None:
+                hook(stage, done, total)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Emit a structured point event (no duration) to interested sinks.
+
+    Collectors ignore events; the journal writes them as JSONL records.
+    Used for one-shot facts like the pre-solve cost ceiling.
+    """
+    active = _sinks.get()
+    if active is not None:
+        for sink in active:
+            hook = getattr(sink, "record_event", None)
+            if hook is not None:
+                hook(name, fields)
+
+
 class _SpanContext:
     """Context manager returned by :func:`span`.
 
@@ -599,7 +708,7 @@ class _SpanContext:
     active, which is what keeps always-on instrumentation affordable.
     """
 
-    __slots__ = ("_name", "_attrs", "_pairs", "_handle", "_started")
+    __slots__ = ("_name", "_attrs", "_pairs", "_handle", "_started", "_cpu_started")
 
     def __init__(self, name: str, attrs: dict[str, Any]):
         self._name = name
@@ -619,15 +728,17 @@ class _SpanContext:
             return _NOOP_HANDLE
         self._pairs = pairs
         self._started = time.perf_counter()
+        self._cpu_started = time.thread_time()
         return SpanHandle([opened for _, opened in pairs])
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._pairs is not None:
             duration = time.perf_counter() - self._started
+            cpu = time.thread_time() - self._cpu_started
             for sink, opened in reversed(self._pairs):
                 if exc_type is not None:
                     opened.attrs["error"] = exc_type.__name__
-                sink.close_span(opened, duration)
+                sink.close_span(opened, duration, cpu)
             self._pairs = None
         return False
 
@@ -658,3 +769,16 @@ def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
         return inner
 
     return wrap
+
+
+# -- sibling modules --------------------------------------------------------
+# Imported last so they can pull the core names above without a cycle.
+
+from .diff import diff_snapshots  # noqa: E402
+from .export import (  # noqa: E402
+    render_report,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_trace,
+)
+from .journal import Journal, journal_to  # noqa: E402

@@ -43,6 +43,7 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -269,6 +270,7 @@ def _run_chunk(
     """
     global _IN_WORKER, _worker_cache
     _IN_WORKER = True
+    chunk_started = time.perf_counter()
     # Forked ambient state from the parent: drop it (see module doc).
     obs._sinks.set(None)
     cache_mod._active.set(None)
@@ -303,7 +305,21 @@ def _run_chunk(
         if state.collect:
             with obs.collect(max_recorded_spans=64) as collector:
                 run()
+            busy = time.perf_counter() - chunk_started
+            collector.metrics.histogram("parallel.chunk_seconds").observe(busy)
+            collector.metrics.histogram(
+                "parallel.chunk_combinations", obs.SIZE_BUCKETS
+            ).observe(stop - start)
             snapshot = collector.to_dict()
+            # Transport-only facts for the parent's _drain (popped there,
+            # never absorbed into parent metrics): perf_counter is
+            # CLOCK_MONOTONIC, shared across fork, so started_at is
+            # directly comparable with the parent's submit timestamp.
+            snapshot["worker"] = {
+                "pid": os.getpid(),
+                "started_at": chunk_started,
+                "busy_s": busy,
+            }
         else:
             run()
     return results, snapshot
@@ -318,6 +334,20 @@ def _chunk_ranges(total: int, workers: int) -> list[tuple[int, int]]:
     target = max(1, workers * _CHUNKS_PER_WORKER)
     size = max(1, -(-total // target))
     return [(s, min(s + size, total)) for s in range(0, total, size)]
+
+
+def _submit_chunks(
+    pool: ProcessPoolExecutor,
+    payload: dict[str, Any],
+    ranges: list[tuple[int, int]],
+) -> list[tuple[Future, float]]:
+    """Submit one task per chunk, pairing each future with its submit
+    timestamp so _drain can measure queue wait (submit -> worker
+    pickup, both on the fork-shared perf_counter clock)."""
+    return [
+        (pool.submit(_run_chunk, payload, s, e), time.perf_counter())
+        for s, e in ranges
+    ]
 
 
 def parallel_candidates(
@@ -336,27 +366,52 @@ def parallel_candidates(
     payload = encode_group(prepared, limits)
     pool = _get_pool(workers)
     ranges = _chunk_ranges(prepared.factored_combinations, workers)
-    futures = [pool.submit(_run_chunk, payload, s, e) for s, e in ranges]
-    return _drain(prepared, futures, ranges)
+    tasks = _submit_chunks(pool, payload, ranges)
+    return _drain(prepared, tasks, ranges)
 
 
 def _drain(
-    prepared, futures: list[Future], ranges: list[tuple[int, int]]
+    prepared,
+    tasks: list[tuple[Future, float]],
+    ranges: list[tuple[int, int]],
 ) -> Iterator[tuple[int, Any, dict[Node, Nfa]]]:
     # Decoded solutions re-use the parent's tag objects and alphabet;
     # tag identity inside a solution machine is cosmetic (the consumer
     # only compares languages), but sharing keeps reprs coherent.
     tags = {tag.label: tag for tag in prepared.tag_order}
     alphabet = next(iter(prepared.machines.values())).alphabet
+    drain_started = time.perf_counter()
+    busy_by_pid: dict[int, float] = {}
+    chunk_seconds: list[float] = []
     walked = 0
     consumed = 0
     try:
-        for future, (start, stop) in zip(futures, ranges):
+        for (future, submitted), (start, stop) in zip(tasks, ranges):
             consumed += 1
             results, snapshot = future.result()
             walked += stop - start
             if snapshot is not None:
+                # Pop the transport record before absorbing so the
+                # parent's merged metrics stay free of raw clock values.
+                meta = snapshot.pop("worker", None) or {}
+                started_at = meta.get("started_at")
+                if started_at is not None:
+                    obs.observe_value(
+                        "parallel.queue_wait_seconds",
+                        max(0.0, started_at - submitted),
+                    )
+                pid = meta.get("pid")
+                busy = float(meta.get("busy_s", 0.0))
+                if pid is not None:
+                    busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + busy
+                    obs.increment_metric(
+                        f"parallel.worker.{pid}.busy_ms", int(busy * 1e3)
+                    )
+                chunk_seconds.append(busy)
                 obs.absorb(snapshot)
+                obs.progress(
+                    "gci_enumeration", walked, prepared.factored_combinations
+                )
             for index, key, docs in results:
                 solution = {
                     node: from_dict(doc, tags, alphabet)
@@ -364,8 +419,8 @@ def _drain(
                 }
                 yield index, key, solution
     finally:
-        for future, (start, stop) in zip(
-            futures[consumed:], ranges[consumed:]
+        for (future, _submitted), (start, stop) in zip(
+            tasks[consumed:], ranges[consumed:]
         ):
             if not future.cancel():
                 # Already running (or done): that work happened; count
@@ -376,6 +431,24 @@ def _drain(
         skipped = prepared.factored_combinations - walked
         if skipped > 0:
             obs.increment_metric("gci.combinations_skipped", skipped)
+        if chunk_seconds:
+            # Chunk skew (slowest chunk vs. mean) and pool utilization
+            # (busy seconds vs. wall x observed workers) for this drain.
+            # Utilization is an estimate: with interleaved groups the
+            # pool serves other drains during this one's wall time.
+            mean = sum(chunk_seconds) / len(chunk_seconds)
+            if mean > 0:
+                obs.set_gauge(
+                    "parallel.chunk_skew", max(chunk_seconds) / mean
+                )
+            elapsed = time.perf_counter() - drain_started
+            if busy_by_pid and elapsed > 0:
+                utilization = sum(busy_by_pid.values()) / (
+                    elapsed * len(busy_by_pid)
+                )
+                obs.set_gauge(
+                    "parallel.utilization", min(1.0, utilization)
+                )
 
 
 def solve_groups(
@@ -429,8 +502,7 @@ def solve_groups(
             payload = encode_group(prepared, limits)
             pool = _get_pool(workers)
             ranges = _chunk_ranges(prepared.factored_combinations, workers)
-            futures = [pool.submit(_run_chunk, payload, s, e) for s, e in ranges]
-            plans.append((prepared, futures, ranges))
+            plans.append((prepared, _submit_chunks(pool, payload, ranges), ranges))
         else:
             plans.append((prepared, None, None))
 
@@ -439,11 +511,11 @@ def solve_groups(
         if plan is None:
             out.append([])
             continue
-        prepared, futures, ranges = plan
-        if futures is None:
+        prepared, tasks, ranges = plan
+        if tasks is None:
             candidates = gci._serial_candidates(prepared, limits)
         else:
-            candidates = _drain(prepared, futures, ranges)
+            candidates = _drain(prepared, tasks, ranges)
         stream = gci._consume(prepared, limits, candidates)
         collected: list[dict[Node, Nfa]] = []
         try:

@@ -150,6 +150,7 @@ class RegLangSolver:
         limits: Optional[GciLimits] = None,
         only: Optional[list[str]] = None,
         collect_stats: bool = False,
+        journal=None,
     ) -> SolutionSet:
         """Solve the accumulated instance (see :func:`repro.solver.solve`).
 
@@ -159,31 +160,36 @@ class RegLangSolver:
         trace of where the solve spent its time plus a metrics
         snapshot (``result.stats.to_dict()`` for the JSON form).
 
+        ``journal`` (a path or open text stream) additionally streams
+        the solve as a JSONL event journal (:mod:`repro.obs.journal`)
+        — per-solve trace IDs, span open/close events with wall and
+        CPU seconds, and heartbeat progress from the GCI enumeration.
+        Both sinks may be active at once; they see the same events.
+
         Every solve runs under the solver's language cache
         (``self.cache``), so repeated solves — the push/pop workflow —
         reuse signatures and memoized automata across calls.  Construct
         the solver with ``CacheLimits(enabled=False)`` to opt out.
         """
+        from contextlib import ExitStack
+
         if self.workers is not None and (limits is None or limits.workers is None):
             limits = replace(limits or GciLimits(), workers=self.workers)
         if self.precheck and (limits is None or not limits.precheck):
             limits = replace(limits or GciLimits(), precheck=True)
-        with self.cache.activate():
-            if not collect_stats:
-                return solve_problem(
-                    self.problem(),
-                    query=query,
-                    max_solutions=max_solutions,
-                    limits=limits,
-                    only=only,
-                )
-            with obs.collect() as collector:
-                result = solve_problem(
-                    self.problem(),
-                    query=query,
-                    max_solutions=max_solutions,
-                    limits=limits,
-                    only=only,
-                )
+        with self.cache.activate(), ExitStack() as stack:
+            if journal is not None:
+                stack.enter_context(obs.journal_to(journal))
+            collector = (
+                stack.enter_context(obs.collect()) if collect_stats else None
+            )
+            result = solve_problem(
+                self.problem(),
+                query=query,
+                max_solutions=max_solutions,
+                limits=limits,
+                only=only,
+            )
+        if collector is not None:
             result.stats = collector
-            return result
+        return result

@@ -273,7 +273,12 @@ def _iter_candidates(
     digits = _digits_at(start, radices)
     for index in range(start, stop):
         if progress is not None:
+            # Serial path: heartbeat against the group's factored space
+            # (the parallel path reports per-chunk from _drain instead).
             progress[0] += 1
+            obs.progress(
+                "gci_enumeration", progress[0], prepared.factored_combinations
+            )
         with obs.span("gci_combination") as sp:
             chosen = {
                 tag: edge_lists[pos][digits[pos]]
@@ -281,13 +286,14 @@ def _iter_candidates(
             }
             solution = _slice_combination(prepared, chosen)
             if solution is not None and limits.maximize:
-                solution = _maximize_solution(
-                    solution,
-                    prepared.machines,
-                    prepared.constraint_specs,
-                    prepared.var_nodes,
-                    limits,
-                )
+                with obs.span("gci_maximize"):
+                    solution = _maximize_solution(
+                        solution,
+                        prepared.machines,
+                        prepared.constraint_specs,
+                        prepared.var_nodes,
+                        limits,
+                    )
             sp.set("viable", solution is not None)
         if solution is not None:
             yield index, solution
@@ -653,9 +659,11 @@ def _prepare_group(
     # memos the enumeration reuses.
     slice_memo: dict[tuple, Optional[Nfa]] = {}
     pair_memo: dict[tuple, Optional[Nfa]] = {}
-    if not _factor_edges(
-        machines, occurrences, tag_order, edges_by_tag, slice_memo, pair_memo
-    ):
+    with obs.span("gci_factor", tags=len(tag_order)):
+        factorable = _factor_edges(
+            machines, occurrences, tag_order, edges_by_tag, slice_memo, pair_memo
+        )
+    if not factorable:
         return None  # some tag lost all its edges: unrealizable
     factored_combinations = 1
     for tag in tag_order:

@@ -167,6 +167,31 @@ def _solve_graph(
             ]
         solve_span.set("groups", len(groups))
 
+        if groups and obs.active_sinks():
+            # Publish the pre-solve cost ceiling (repro.check's sound
+            # bound on gci.combinations_total, arithmetic over machine
+            # sizes only) so heartbeat consumers can report % complete
+            # against it before enumeration begins.  Cyclic groups have
+            # no ceiling; skip quietly.
+            from ..check.cost import estimate_group
+
+            ceiling = 0
+            estimated = 0
+            for group in groups:
+                try:
+                    ceiling += estimate_group(graph, group).estimated_combinations
+                    estimated += 1
+                except ValueError:
+                    continue
+            if estimated:
+                obs.set_gauge("check.cost_ceiling", ceiling)
+                obs.event(
+                    "cost_ceiling",
+                    estimate=ceiling,
+                    groups=len(groups),
+                    groups_estimated=estimated,
+                )
+
         if abstraction is not None:
             for group in groups:
                 if abstraction.unsat_witness(group) is None:

@@ -23,20 +23,35 @@ equivalent.  Three subcommands:
 ``corpus``
     Regenerate the synthetic benchmark corpus to a directory.
 
+``obs report|diff|export``
+    Work with the stats JSON the other subcommands emit via
+    ``--stats-json`` (and with ``BENCH_solver.json``): render a human
+    summary, compare two runs with a regression gate (``--fail-over``),
+    or export to Prometheus text format / Chrome trace JSON.
+
+``solve``, ``check``, ``analyze``, and ``graph`` all take the same
+observability flags (``--stats-json``, ``--trace``, ``--journal``,
+cache and worker knobs) — see :func:`_add_observability_flags`.
+
 Examples::
 
     dprle solve constraints.dprle --precheck
     dprle check constraints.dprle --json --fail-on warning
     dprle analyze vulnerable.php --attack tautology
     dprle corpus --out ./corpus
+    dprle solve big.dprle --stats-json run.json --journal run.jsonl
+    dprle obs diff baseline.json run.json --fail-over 20
+    dprle obs export run.json --format chrome --out run.trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
+from contextlib import ExitStack
 from typing import Optional
 
 from .. import obs
@@ -60,6 +75,11 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--trace", action="store_true",
         help="print the span tree (where the solve spent its time) to stderr",
+    )
+    subparser.add_argument(
+        "--journal", type=pathlib.Path, default=None, metavar="PATH",
+        help="stream a JSONL event journal (span open/close, heartbeat "
+        "progress, per-solve trace IDs) to PATH while running",
     )
     subparser.add_argument(
         "--no-cache", action="store_true",
@@ -87,17 +107,39 @@ def _cli_limits(args: argparse.Namespace) -> Optional[GciLimits]:
 
 
 def _run_observed(args: argparse.Namespace, run) -> int:
-    """Run a subcommand body under the language cache, collecting
-    telemetry when requested."""
+    """Run a subcommand body under the language cache, with whatever
+    telemetry sinks the flags request (collector and/or journal).
+
+    This is the one flag-wiring point shared by ``solve``, ``check``,
+    ``analyze``, and ``graph`` — the flags themselves are declared once
+    in :func:`_add_observability_flags`.
+    """
     cache = LangCache(
         CacheLimits(enabled=not args.no_cache, max_entries=args.cache_entries)
     )
-    if args.stats_json is None and not args.trace:
+    want_collect = args.stats_json is not None or args.trace
+    if not want_collect and args.journal is None:
         with cache.activate():
             return run()
-    with obs.collect() as collector:
-        with cache.activate():
-            code = run()
+    collector = None
+    with ExitStack() as stack:
+        if args.journal is not None:
+            try:
+                stack.enter_context(obs.journal_to(args.journal))
+            except OSError as error:
+                print(
+                    f"dprle: cannot write {args.journal}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+        if want_collect:
+            collector = stack.enter_context(obs.collect())
+        stack.enter_context(cache.activate())
+        code = run()
+    if args.journal is not None:
+        print(f"wrote journal to {args.journal}", file=sys.stderr)
+    if collector is None:
+        return code
     if args.trace:
         print(collector.render_trace(), file=sys.stderr)
     if args.stats_json is not None:
@@ -152,6 +194,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="exit 1 when any diagnostic reaches SEVERITY "
         "('warning' or 'error')",
     )
+    _add_observability_flags(check_cmd)
 
     analyze_cmd = commands.add_parser("analyze", help="analyze a PHP file")
     analyze_cmd.add_argument("file", type=pathlib.Path)
@@ -180,12 +223,55 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--out", type=pathlib.Path, default=None,
         help="write DOT here instead of stdout",
     )
+    _add_observability_flags(graph_cmd)
 
     corpus_cmd = commands.add_parser("corpus", help="emit the benchmark corpus")
     corpus_cmd.add_argument("--out", type=pathlib.Path, default=pathlib.Path("corpus"))
     corpus_cmd.add_argument(
         "--scale", type=float, default=1.0,
         help="scale factor for per-file size targets (default 1.0)",
+    )
+
+    obs_cmd = commands.add_parser(
+        "obs", help="inspect, compare, and export stats JSON files"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    report_cmd = obs_sub.add_parser(
+        "report", help="human summary of a stats or benchmark JSON"
+    )
+    report_cmd.add_argument("file", type=pathlib.Path)
+    diff_cmd = obs_sub.add_parser(
+        "diff", help="compare two stats/benchmark JSONs (CI regression gate)"
+    )
+    diff_cmd.add_argument("base", type=pathlib.Path)
+    diff_cmd.add_argument("other", type=pathlib.Path)
+    diff_cmd.add_argument(
+        "--fail-over", type=float, default=None, metavar="PCT",
+        help="exit 1 when any gated metric regressed by more than PCT%%",
+    )
+    diff_cmd.add_argument(
+        "--keys", choices=["time", "counters", "all"], default="time",
+        help="which metric class gates the result (default %(default)s); "
+        "'counters' is deterministic for serial solves and makes a "
+        "machine-independent gate",
+    )
+    diff_cmd.add_argument(
+        "--min-change", type=float, default=1.0, metavar="PCT",
+        help="hide leaves that changed by less than PCT%% "
+        "(default %(default)s)",
+    )
+    export_cmd = obs_sub.add_parser(
+        "export", help="convert a stats JSON to a standard format"
+    )
+    export_cmd.add_argument("file", type=pathlib.Path)
+    export_cmd.add_argument(
+        "--format", choices=["prometheus", "chrome"], required=True,
+        help="prometheus: text exposition format; chrome: trace event "
+        "JSON for chrome://tracing or Perfetto",
+    )
+    export_cmd.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write here instead of stdout",
     )
 
     args = parser.parse_args(argv)
@@ -199,6 +285,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_graph(args)
     if args.command == "corpus":
         return _run_corpus(args)
+    if args.command == "obs":
+        return _run_obs(args)
     parser.error("unknown command")
     return 2
 
@@ -213,19 +301,24 @@ def _print_dsl_error(file: pathlib.Path, error: DslError) -> None:
 
 
 def _run_check(args: argparse.Namespace) -> int:
-    from ..check import Severity, check_problem, report_from_error
-
     try:
         text = args.file.read_text()
     except OSError as error:
         print(f"dprle: cannot read {args.file}: {error}", file=sys.stderr)
         return 2
-    try:
-        report = check_problem(parse_problem(text))
-        parse_failed = False
-    except DslError as error:
-        report = report_from_error(error)
-        parse_failed = True
+    return _run_observed(args, lambda: _check_and_print(args, text))
+
+
+def _check_and_print(args: argparse.Namespace, text: str) -> int:
+    from ..check import Severity, check_problem, report_from_error
+
+    with obs.span("check"):
+        try:
+            report = check_problem(parse_problem(text))
+            parse_failed = False
+        except DslError as error:
+            report = report_from_error(error)
+            parse_failed = True
     if args.json:
         print(report.to_json(str(args.file)))
     else:
@@ -240,8 +333,6 @@ def _run_check(args: argparse.Namespace) -> int:
 
 
 def _run_graph(args: argparse.Namespace) -> int:
-    from ..constraints.depgraph import build_graph
-
     try:
         text = args.file.read_text()
     except OSError as error:
@@ -252,8 +343,15 @@ def _run_graph(args: argparse.Namespace) -> int:
     except DslError as error:
         _print_dsl_error(args.file, error)
         return 2
-    graph, _ = build_graph(problem)
-    dot = graph.to_dot(name=args.file.stem.replace("-", "_"))
+    return _run_observed(args, lambda: _graph_and_print(args, problem))
+
+
+def _graph_and_print(args: argparse.Namespace, problem) -> int:
+    from ..constraints.depgraph import build_graph
+
+    with obs.span("graph"):
+        graph, _ = build_graph(problem)
+        dot = graph.to_dot(name=args.file.stem.replace("-", "_"))
     if args.out is not None:
         args.out.write_text(dot + "\n")
         print(f"wrote {args.out}")
@@ -338,6 +436,61 @@ def _analyze_and_print(args: argparse.Namespace, source: str) -> int:
             print(f"    {diagnostic.render()}")
         vulnerable = vulnerable or finding.vulnerable
     return 1 if vulnerable else 0
+
+
+def _load_stats(path: pathlib.Path) -> Optional[dict]:
+    try:
+        loaded = json.loads(path.read_text())
+    except OSError as error:
+        print(f"dprle: cannot read {path}: {error}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as error:
+        print(f"dprle: {path} is not valid JSON: {error}", file=sys.stderr)
+        return None
+    if not isinstance(loaded, dict):
+        print(f"dprle: {path}: expected a JSON object", file=sys.stderr)
+        return None
+    return loaded
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        snapshot = _load_stats(args.file)
+        if snapshot is None:
+            return 2
+        print(obs.render_report(snapshot), end="")
+        return 0
+    if args.obs_command == "diff":
+        base = _load_stats(args.base)
+        other = _load_stats(args.other)
+        if base is None or other is None:
+            return 2
+        result = obs.diff_snapshots(
+            base, other, fail_over=args.fail_over, keys=args.keys
+        )
+        print(result.render(min_percent=args.min_change), end="")
+        return 1 if result.failed else 0
+    if args.obs_command == "export":
+        snapshot = _load_stats(args.file)
+        if snapshot is None:
+            return 2
+        if args.format == "prometheus":
+            rendered = obs.to_prometheus(snapshot)
+        else:
+            rendered = json.dumps(obs.to_chrome_trace(snapshot), indent=2) + "\n"
+        if args.out is not None:
+            try:
+                args.out.write_text(rendered)
+            except OSError as error:
+                print(
+                    f"dprle: cannot write {args.out}: {error}", file=sys.stderr
+                )
+                return 2
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(rendered, end="")
+        return 0
+    return 2
 
 
 def _run_corpus(args: argparse.Namespace) -> int:

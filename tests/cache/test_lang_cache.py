@@ -261,6 +261,7 @@ class TestLimitsAndStats:
             "hits",
             "misses",
             "evictions",
+            "signature_collisions",
             "hit_total",
             "miss_total",
         }

@@ -1,0 +1,143 @@
+"""Regression diffing of stats snapshots (repro.obs.diff).
+
+The acceptance criterion from ISSUE 6: ``dprle obs diff`` must flag an
+injected 20% wall-time regression.  These tests inject the slowdown by
+scaling the time-like leaves of a real snapshot.
+"""
+
+import copy
+
+import pytest
+
+from repro import obs
+from repro.constraints.dsl import parse_problem
+from repro.obs.diff import diff_snapshots
+from repro.solver.worklist import solve
+
+
+def _real_snapshot() -> dict:
+    problem = parse_problem("var a, b;\na . b <= /ab/;")
+    with obs.collect() as collector:
+        solve(problem)
+    return collector.to_dict()
+
+
+def _slow_down(snapshot: dict, factor: float) -> dict:
+    """A copy of ``snapshot`` with every span-duration histogram scaled
+    by ``factor`` — the injected artificial slowdown."""
+    slowed = copy.deepcopy(snapshot)
+    for name, hist in slowed["metrics"]["histograms"].items():
+        if not name.startswith("span_seconds."):
+            continue
+        hist["sum"] *= factor
+        for key in ("min", "max"):
+            if hist.get(key) is not None:
+                hist[key] *= factor
+    return slowed
+
+
+class TestInjectedRegression:
+    def test_twenty_five_percent_slowdown_fails_the_gate(self):
+        base = _real_snapshot()
+        slowed = _slow_down(base, 1.25)
+        result = diff_snapshots(base, slowed, fail_over=20.0, keys="time")
+        assert result.failed
+        worst = result.regressions[0]
+        assert worst.percent == pytest.approx(25.0)
+        assert "FAIL" in result.render()
+
+    def test_identical_runs_pass(self):
+        base = _real_snapshot()
+        result = diff_snapshots(base, copy.deepcopy(base), fail_over=20.0)
+        assert not result.failed
+        assert "OK" in result.render()
+
+    def test_slowdown_below_threshold_passes(self):
+        base = _real_snapshot()
+        slowed = _slow_down(base, 1.10)
+        assert not diff_snapshots(base, slowed, fail_over=20.0).failed
+
+    def test_speedup_never_fails(self):
+        base = _real_snapshot()
+        faster = _slow_down(base, 0.5)
+        assert not diff_snapshots(base, faster, fail_over=20.0).failed
+
+
+class TestKeyClasses:
+    BASE = {
+        "metrics": {
+            "counters": {"states_visited": 100},
+            "histograms": {
+                "span_seconds.solve": {"count": 1, "sum": 2.0},
+            },
+        },
+    }
+    OTHER = {
+        "metrics": {
+            "counters": {"states_visited": 200},
+            "histograms": {
+                "span_seconds.solve": {"count": 1, "sum": 2.0},
+            },
+        },
+    }
+
+    def test_time_keys_ignore_counter_blowup(self):
+        result = diff_snapshots(self.BASE, self.OTHER, fail_over=20, keys="time")
+        assert not result.failed
+
+    def test_counter_keys_catch_counter_blowup(self):
+        result = diff_snapshots(
+            self.BASE, self.OTHER, fail_over=20, keys="counters"
+        )
+        assert result.failed
+        assert result.regressions[0].path.endswith("states_visited")
+
+    def test_all_keys_gate_everything(self):
+        assert diff_snapshots(
+            self.BASE, self.OTHER, fail_over=20, keys="all"
+        ).failed
+
+    def test_histogram_count_is_not_time_like(self):
+        # "count" under span_seconds.* sits on a time-like *path*; it
+        # must gate as time (the path classifies, not the leaf name).
+        result = diff_snapshots(self.BASE, self.OTHER, keys="time")
+        solve_entries = [
+            e for e in result.entries if "span_seconds" in e.path
+        ]
+        assert solve_entries and all(e.is_time for e in solve_entries)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            diff_snapshots(self.BASE, self.OTHER, keys="bogus")
+
+
+class TestNoiseGuards:
+    def test_microsecond_bases_never_gate(self):
+        base = {"metrics": {"histograms": {"span_seconds.x": {"sum": 1e-5}}}}
+        other = {"metrics": {"histograms": {"span_seconds.x": {"sum": 1e-4}}}}
+        # A 900% change on a 10µs base is noise, not a regression.
+        assert not diff_snapshots(base, other, fail_over=20.0).failed
+
+    def test_zero_base_reports_but_never_gates(self):
+        base = {"metrics": {"counters": {"cache.evictions": 0}}}
+        other = {"metrics": {"counters": {"cache.evictions": 50}}}
+        result = diff_snapshots(base, other, fail_over=20.0, keys="counters")
+        assert not result.failed  # no percent change from zero
+        (entry,) = result.entries
+        assert entry.percent is None
+
+    def test_provenance_leaves_are_skipped(self):
+        base = {"schema": "dprle.obs/2", "generated_unix": 1, "x": 1}
+        other = {"schema": "dprle.obs/2", "generated_unix": 2, "x": 1}
+        result = diff_snapshots(base, other, fail_over=0.0, keys="all")
+        assert not result.failed
+        assert [e.path for e in result.entries] == ["x"]
+
+    def test_new_and_gone_leaves_are_reported(self):
+        base = {"a": 1, "b": 2}
+        other = {"a": 1, "c": 3}
+        result = diff_snapshots(base, other)
+        assert result.only_in_base == ["b"]
+        assert result.only_in_other == ["c"]
+        rendered = result.render()
+        assert "gone" in rendered and "new" in rendered

@@ -1,0 +1,201 @@
+"""The JSONL event journal (repro.obs.journal, schema dprle.journal/1)."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.constraints.dsl import parse_problem
+from repro.solver.api import RegLangSolver
+from repro.solver.worklist import solve
+
+
+def _events(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestStream:
+    def test_header_and_trailer_frame_the_stream(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer):
+            pass
+        events = _events(buffer)
+        assert events[0]["event"] == "journal_start"
+        assert events[0]["schema"] == "dprle.journal/1"
+        assert events[0]["pid"] > 0
+        assert events[-1]["event"] == "journal_end"
+        assert events[-2]["event"] == "metrics"
+
+    def test_span_open_close_pairs_with_payload(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer):
+            with obs.span("determinize", states_in=4) as sp:
+                obs.visit_states(9)
+                obs.count_operation("product")
+                sp.set("states_out", 2)
+        events = {e["event"]: e for e in _events(buffer)}
+        opened, closed = events["span_open"], events["span_close"]
+        assert opened["name"] == closed["name"] == "determinize"
+        assert opened["id"] == closed["id"]
+        assert opened["parent"] == 0
+        assert closed["wall_s"] >= 0
+        assert closed["cpu_s"] >= 0
+        assert closed["states_visited"] == 9
+        assert closed["attrs"] == {"states_in": 4, "states_out": 2}
+        assert closed["operations"] == {"product": 1}
+
+    def test_timestamps_are_monotonic(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer):
+            for _ in range(5):
+                with obs.span("tick"):
+                    pass
+        stamps = [e["t"] for e in _events(buffer)]
+        assert stamps == sorted(stamps)
+
+    def test_every_event_is_one_json_line(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer):
+            with obs.span("a", note="line\nbreak"):
+                pass
+        for line in buffer.getvalue().splitlines():
+            json.loads(line)  # must not raise
+
+    def test_journal_to_path(self, tmp_path):
+        target = tmp_path / "run.jsonl"
+        with obs.journal_to(target):
+            with obs.span("solve"):
+                pass
+        events = [json.loads(line) for line in target.read_text().splitlines()]
+        assert events[0]["event"] == "journal_start"
+        assert any(e["event"] == "span_close" for e in events)
+
+
+class TestTraceIds:
+    def test_fresh_trace_id_per_top_level_span(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer):
+            with obs.span("solve"):
+                with obs.span("inner"):
+                    pass
+            with obs.span("solve"):
+                pass
+        opens = [e for e in _events(buffer) if e["event"] == "span_open"]
+        first_solve, inner, second_solve = opens
+        assert first_solve["trace"] == inner["trace"]
+        assert second_solve["trace"] != first_solve["trace"]
+
+    def test_point_events_carry_current_trace(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer):
+            with obs.span("solve"):
+                obs.event("cost_ceiling", estimate=42, groups=1)
+        events = {e["event"]: e for e in _events(buffer)}
+        assert events["cost_ceiling"]["estimate"] == 42
+        assert events["cost_ceiling"]["trace"] == events["span_open"]["trace"]
+
+
+class TestSampling:
+    def test_sample_every_suppresses_pairs_but_keeps_totals(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer, sample_every=10) as journal:
+            for _ in range(25):
+                with obs.span("tick"):
+                    pass
+        events = _events(buffer)
+        closes = [e for e in events if e["event"] == "span_close"]
+        assert len(closes) == 3  # ticks 1, 11, 21
+        assert journal.spans_sampled_out == 22
+        (metrics,) = [e for e in events if e["event"] == "metrics"]
+        assert metrics["metrics"]["counters"]["span.tick"] == 25
+        assert (
+            metrics["metrics"]["histograms"]["span_seconds.tick"]["count"] == 25
+        )
+
+    def test_sampling_is_per_span_name(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer, sample_every=100):
+            for _ in range(5):
+                with obs.span("common"):
+                    pass
+            with obs.span("rare"):
+                pass
+        closes = [e["name"] for e in _events(buffer) if e["event"] == "span_close"]
+        # The first of each name is always written.
+        assert sorted(closes) == ["common", "rare"]
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            obs.Journal(io.StringIO(), sample_every=0)
+
+
+class TestHeartbeats:
+    def test_progress_emits_percent_and_eta(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer, heartbeat_seconds=0.0):
+            obs.progress("gci_enumeration", 0, 200)
+            time.sleep(0.002)  # a measurable rate window for the ETA
+            obs.progress("gci_enumeration", 50, 200)
+        beats = [e for e in _events(buffer) if e["event"] == "heartbeat"]
+        assert len(beats) == 2
+        assert beats[1]["percent"] == 25.0
+        assert beats[1]["eta_s"] >= 0  # rate known after the first beat
+
+    def test_heartbeats_are_throttled(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer, heartbeat_seconds=3600.0):
+            for done in range(1, 50):
+                obs.progress("gci_enumeration", done, 100)
+        beats = [e for e in _events(buffer) if e["event"] == "heartbeat"]
+        assert len(beats) == 1  # only the first lands inside the window
+
+    def test_completion_beats_bypass_throttle(self):
+        buffer = io.StringIO()
+        with obs.journal_to(buffer, heartbeat_seconds=3600.0):
+            obs.progress("gci_enumeration", 1, 100)
+            obs.progress("gci_enumeration", 100, 100)
+        beats = [e for e in _events(buffer) if e["event"] == "heartbeat"]
+        assert len(beats) == 2
+        assert beats[-1]["percent"] == 100.0
+
+
+class TestComposition:
+    def test_journal_and_collector_see_the_same_events(self):
+        buffer = io.StringIO()
+        with obs.collect() as collector:
+            with obs.journal_to(buffer):
+                with obs.span("solve"):
+                    obs.visit_states(3)
+        assert collector.states_visited == 3
+        assert collector.root.find("solve")
+        closes = [e for e in _events(buffer) if e["event"] == "span_close"]
+        assert closes and closes[0]["name"] == "solve"
+
+    def test_real_solve_journals_expected_events(self):
+        buffer = io.StringIO()
+        problem = parse_problem("var a, b;\na . b <= /ab/;")
+        with obs.journal_to(buffer):
+            solve(problem)
+        events = _events(buffer)
+        names = {e.get("name") for e in events if e["event"] == "span_close"}
+        assert "solve" in names
+        assert "ci" in names
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert beats, "GCI enumeration emitted no heartbeats"
+        assert all(e["stage"] == "gci_enumeration" for e in beats)
+        ceilings = [e for e in events if e["event"] == "cost_ceiling"]
+        assert ceilings and ceilings[0]["estimate"] >= 1
+
+    def test_solver_api_journal_kwarg(self, tmp_path):
+        target = tmp_path / "solve.jsonl"
+        solver = RegLangSolver()
+        v = solver.var("v")
+        solver.require(v, solver.pattern("ab", "ab*"))
+        result = solver.solve(journal=target, collect_stats=True)
+        assert result.satisfiable
+        assert result.stats is not None
+        events = [json.loads(line) for line in target.read_text().splitlines()]
+        assert events[0]["event"] == "journal_start"
+        assert events[-1]["event"] == "journal_end"

@@ -121,8 +121,13 @@ class TestSpans:
                 with obs.span("tick"):
                     pass
         assert len(collector.root.children) == 2
-        assert collector.metrics.counter("spans_dropped").value == 3
+        assert collector.metrics.counter("obs.spans_dropped").value == 3
+        assert collector.spans_dropped == 3
         assert collector.metrics.counter("span.tick").value == 5
+        # Truncation is visible in the snapshot, not silent.
+        snapshot = collector.to_dict()
+        assert snapshot["truncated"] is True
+        assert snapshot["spans_dropped"] == 3
 
 
 class TestMetrics:
@@ -169,7 +174,8 @@ class TestJsonExport:
                 obs.visit_states(3)
                 sp.set("states_out", 1)
         data = json.loads(collector.to_json())
-        assert data["schema"] == "dprle.obs/1"
+        assert data["schema"] == "dprle.obs/2"
+        assert data["truncated"] is False
         (op,) = data["trace"]["children"]
         assert op["name"] == "op"
         assert op["states_visited"] == 3

@@ -38,6 +38,45 @@ def test_collector_receives_worker_spans_and_counters():
     assert collector.root.find("worker")
 
 
+def test_parallel_introspection_metrics_present():
+    """dprle.obs/2 deep introspection: queue-wait and chunk histograms,
+    per-worker busy counters, and pool gauges ride the snapshots home."""
+    with obs.collect() as collector:
+        solve(_wide(), limits=_limits(2))
+    registry = collector.metrics.snapshot()
+    histograms = registry["histograms"]
+
+    chunks = histograms.get("parallel.chunk_seconds")
+    assert chunks is not None and chunks["count"] >= 1
+    assert chunks["sum"] > 0
+
+    sizes = histograms.get("parallel.chunk_combinations")
+    assert sizes is not None
+    # Every factored combination was walked by exactly one chunk.
+    assert sizes["sum"] == registry["counters"]["gci.combinations_enumerated"]
+
+    waits = histograms.get("parallel.queue_wait_seconds")
+    assert waits is not None and waits["count"] == chunks["count"]
+    assert waits["min"] >= 0
+
+    busy = {
+        name: value
+        for name, value in registry["counters"].items()
+        if name.startswith("parallel.worker.") and name.endswith(".busy_ms")
+    }
+    assert busy, "per-worker busy counters missing"
+
+    gauges = registry["gauges"]
+    assert 0 < gauges.get("parallel.utilization", 0) <= 1.0
+    assert gauges.get("parallel.chunk_skew", 0) >= 1.0
+    # Heartbeat progress reached 100% of the factored space.
+    assert (
+        gauges.get("progress.gci_enumeration.done")
+        == gauges.get("progress.gci_enumeration.total")
+        == registry["counters"]["gci.combinations_enumerated"]
+    )
+
+
 def test_cost_tracker_includes_worker_work():
     with stats.measure() as cost:
         solve(_wide(), limits=_limits(2))

@@ -85,7 +85,7 @@ class TestObservability:
         assert f"wrote stats to {out}" in capsys.readouterr().err
 
         data = json.loads(out.read_text())
-        assert data["schema"] == "dprle.obs/1"
+        assert data["schema"] == "dprle.obs/2"
         spans = _span_index(data["trace"])
         # The span tree must attribute the solve across the paper's
         # phases: subset construction, Hopcroft minimization, and the
@@ -129,6 +129,114 @@ class TestObservability:
     def test_no_flags_no_stats_output(self, constraint_file, capsys):
         assert main(["solve", str(constraint_file)]) == 0
         assert "wrote stats" not in capsys.readouterr().err
+
+
+class TestSharedObservabilityFlags:
+    """Satellite: check/graph take the same telemetry flags as solve."""
+
+    def test_check_stats_json(self, constraint_file, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        assert main(["check", str(constraint_file), "--stats-json", str(out)]) == 0
+        assert f"wrote stats to {out}" in capsys.readouterr().err
+        data = json.loads(out.read_text())
+        assert data["schema"] == "dprle.obs/2"
+        assert _span_index(data["trace"]).get("check")
+
+    def test_check_trace_to_stderr(self, constraint_file, capsys):
+        assert main(["check", str(constraint_file), "--trace"]) == 0
+        assert "check" in capsys.readouterr().err
+
+    def test_graph_stats_json(self, constraint_file, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        assert main(["graph", str(constraint_file), "--stats-json", str(out)]) == 0
+        assert json.loads(out.read_text())["schema"] == "dprle.obs/2"
+        assert _span_index(json.loads(out.read_text())["trace"]).get("graph")
+        # The DOT output still lands on stdout.
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_graph_trace_to_stderr(self, constraint_file, capsys):
+        assert main(["graph", str(constraint_file), "--trace"]) == 0
+        assert "graph" in capsys.readouterr().err
+
+    def test_solve_journal(self, constraint_file, tmp_path, capsys):
+        target = tmp_path / "run.jsonl"
+        assert main(["solve", str(constraint_file), "--journal", str(target)]) == 0
+        assert f"wrote journal to {target}" in capsys.readouterr().err
+        events = [json.loads(line) for line in target.read_text().splitlines()]
+        assert events[0]["event"] == "journal_start"
+        assert events[-1]["event"] == "journal_end"
+        assert any(
+            e["event"] == "span_close" and e["name"] == "solve" for e in events
+        )
+
+    def test_unwritable_journal_path(self, constraint_file, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "run.jsonl"
+        assert main(["solve", str(constraint_file), "--journal", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def stats_file(constraint_file, tmp_path, capsys) -> pathlib.Path:
+    out = tmp_path / "stats.json"
+    assert main(["solve", str(constraint_file), "--stats-json", str(out)]) == 0
+    capsys.readouterr()  # discard the solve's output
+    return out
+
+
+class TestObsSubcommand:
+    def test_report(self, stats_file, capsys):
+        assert main(["obs", "report", str(stats_file)]) == 0
+        out = capsys.readouterr().out
+        assert "schema: dprle.obs/2" in out
+        assert "time by span" in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_diff_identical_passes(self, stats_file, capsys):
+        code = main(
+            ["obs", "diff", str(stats_file), str(stats_file),
+             "--fail-over", "20"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_diff_flags_injected_regression(self, stats_file, tmp_path, capsys):
+        """ISSUE 6 acceptance: a 25% injected wall-time slowdown must
+        trip the 20% gate through the real CLI."""
+        slowed = json.loads(stats_file.read_text())
+        for name, hist in slowed["metrics"]["histograms"].items():
+            if name.startswith("span_seconds."):
+                hist["sum"] *= 1.25
+        slowed_path = tmp_path / "slowed.json"
+        slowed_path.write_text(json.dumps(slowed))
+        code = main(
+            ["obs", "diff", str(stats_file), str(slowed_path),
+             "--fail-over", "20"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "span_seconds" in out
+
+    def test_export_prometheus(self, stats_file, capsys):
+        assert main(["obs", "export", str(stats_file), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "dprle_states_visited_total" in out
+
+    def test_export_chrome_validates(self, stats_file, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        target = tmp_path / "trace.json"
+        code = main(
+            ["obs", "export", str(stats_file), "--format", "chrome",
+             "--out", str(target)]
+        )
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert validate_chrome_trace(doc) is True
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "solve" in names
 
 
 class TestAnalyze:
