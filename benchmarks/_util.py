@@ -17,6 +17,7 @@ import time
 
 from repro import __version__
 from repro.automata import BYTE_ALPHABET, Alphabet, CharSet, Nfa
+from repro.automata.backend import active_backend
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -36,7 +37,11 @@ def write_table(name: str, title: str, lines: list[str]) -> pathlib.Path:
 
 
 def write_json(
-    name: str, title: str, data: dict, cache: dict | None = None
+    name: str,
+    title: str,
+    data: dict,
+    cache: dict | None = None,
+    backend: str | None = None,
 ) -> pathlib.Path:
     """Write machine-readable results to benchmarks/out/<name>.json.
 
@@ -44,10 +49,14 @@ def write_json(
     the experiment is parameterized).  ``cache`` records the language-
     cache configuration the numbers were measured under (see
     docs/CACHING.md); benchmarks that never activate one record
-    ``{"enabled": False}``.  Every call also re-aggregates all
-    per-benchmark JSON files into the top-level ``BENCH_solver.json``
-    so a full benchmark run leaves one perf-trajectory artifact behind
-    (see docs/OBSERVABILITY.md for the schema).
+    ``{"enabled": False}``.  ``backend`` records which automata kernel
+    set (docs/BACKENDS.md) produced the numbers; it defaults to the
+    backend active at write time, so ``DPRLE_BACKEND=bitset`` runs are
+    distinguishable in the aggregate.  Every call also re-aggregates
+    all per-benchmark JSON files into the top-level
+    ``BENCH_solver.json`` so a full benchmark run leaves one
+    perf-trajectory artifact behind (see docs/OBSERVABILITY.md for the
+    schema).
     """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{name}.json"
@@ -55,6 +64,7 @@ def write_json(
         "name": name,
         "title": title,
         "cache": cache if cache is not None else {"enabled": False},
+        "backend": backend if backend is not None else active_backend().name,
         "data": data,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

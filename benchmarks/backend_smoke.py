@@ -1,0 +1,213 @@
+"""CI smoke check: the bitset backend must actually be faster.
+
+Times the three hot kernels (determinize, product, Hopcroft) under the
+reference and bitset backends on the Sec. 3.5 chain family — deep
+concatenation towers of small banded-random machines, the shape the
+chain-scaling benchmark sweeps — plus a wide.dprle end-to-end solve,
+and fails (exit 1) if the bitset backend is slower on any row.  The
+guard threshold is 1.0× (never a pessimization); the speedup
+multipliers are printed and recorded in ``BENCH_solver.json`` so the
+perf trajectory keeps the real numbers (≥5× on the kernel rows is the
+expected neighbourhood, see docs/BACKENDS.md).
+
+Timings are medians of CPU time (``time.process_time``): container
+wall clock is noisy (±30% run to run), process time is stable.
+Each kernel's outputs are also cross-checked (structure identity for
+determinize/product, minimal size for Hopcroft) so the smoke can never
+pass on a backend that got fast by being wrong.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.backend_smoke
+"""
+
+from __future__ import annotations
+
+import gc
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.automata import serialize
+from repro.automata.backend import get_backend, use_backend
+from repro.automata.dfa import _determinize, _minimize_dfa
+from repro.automata.ops import _product_reference, concat, union
+from repro.cache import LangCache
+from repro.constraints import parse_problem
+from repro.solver import solve
+from repro.solver.gci import GciLimits
+
+from ._util import random_nfa, write_json
+
+DATA = pathlib.Path(__file__).parent.parent / "tests" / "data"
+
+#: Tower shape: K machines of Q states concatenated.  k=12/q=4 keeps
+#: the subset construction in the tens of thousands of subsets — big
+#: enough that kernel costs dominate interpreter noise, small enough
+#: for CI.
+TOWER_K = 12
+TOWER_Q = 4
+
+REPS = 3
+MIN_SPEEDUP = 1.0  # the guard: bitset must never be slower
+
+
+def _tower(k: int, q: int, seed0: int = 100):
+    machines = [
+        random_nfa(q, seed=seed0 + i, edge_factor=0.8, label_style="banded")
+        for i in range(k + 1)
+    ]
+    exact = machines[0]
+    for m in machines[1:]:
+        exact = concat(exact, m)
+    loose = union(
+        random_nfa(q + k, seed=200 + k, edge_factor=0.8, label_style="banded"),
+        exact,
+    )
+    return exact, loose
+
+
+def _median_time(fn, *args, reps: int = REPS):
+    """Median CPU time over ``reps`` runs, plus the last result.
+
+    Collection is disabled inside the timed region: GC pauses land on
+    whichever side happens to trip the threshold, which is pure noise
+    for a ratio guard.
+    """
+    times, out = [], None
+    for _ in range(reps):
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.process_time()
+            out = fn(*args)
+            times.append(time.process_time() - started)
+        finally:
+            gc.enable()
+    return statistics.median(times), out
+
+
+def _kernel_rows() -> list[tuple[str, float, float]]:
+    bit = get_backend("bitset")
+    exact, loose = _tower(TOWER_K, TOWER_Q)
+    rows = []
+
+    def row(name, ref_fn, bit_fn, check):
+        ref_s, ref_out = _median_time(ref_fn)
+        bit_s, bit_out = _median_time(bit_fn)
+        check(ref_out, bit_out)
+        rows.append((name, ref_s, bit_s))
+
+    def same_structure(ref_out, bit_out):
+        a = ref_out.to_nfa() if hasattr(ref_out, "complemented") else ref_out
+        b = bit_out.to_nfa() if hasattr(bit_out, "complemented") else bit_out
+        assert serialize.to_dict(a) == serialize.to_dict(b)
+
+    def same_product(ref_out, bit_out):
+        assert serialize.to_dict(ref_out[0]) == serialize.to_dict(bit_out[0])
+        assert ref_out[1] == bit_out[1]
+
+    def same_size(ref_out, bit_out):
+        assert ref_out.num_states == bit_out.num_states
+
+    row(
+        "determinize(exact)",
+        lambda: _determinize(exact),
+        lambda: bit.determinize(exact),
+        same_structure,
+    )
+    row(
+        "determinize(loose)",
+        lambda: _determinize(loose),
+        lambda: bit.determinize(loose),
+        same_structure,
+    )
+
+    # The bitset-determinized machines are structure-identical to the
+    # reference's (asserted above), so building downstream inputs with
+    # the fast kernel is fair to both sides.
+    det_exact = bit.determinize(exact).to_nfa()
+    det_loose = bit.determinize(loose).to_nfa()
+    row(
+        "product(exact, loose)",
+        lambda: _product_reference(exact, loose),
+        lambda: bit.product(exact, loose),
+        same_product,
+    )
+    row(
+        "product(det(exact), det(loose))",
+        lambda: _product_reference(det_exact, det_loose),
+        lambda: bit.product(det_exact, det_loose),
+        same_product,
+    )
+
+    raw_product, _ = bit.product(exact, loose)
+    for name, machine in [
+        ("hopcroft(det(exact))", exact),
+        ("hopcroft(det(loose))", loose),
+        ("hopcroft(det(product))", raw_product),
+    ]:
+        dfa = bit.determinize(machine)
+        row(
+            name,
+            lambda dfa=dfa: _minimize_dfa(dfa),
+            lambda dfa=dfa: bit.minimize_dfa(dfa),
+            same_size,
+        )
+    return rows
+
+
+def _wide_end_to_end() -> tuple[str, float, float]:
+    problem = parse_problem((DATA / "wide.dprle").read_text())
+    limits = GciLimits(workers=0)
+
+    def run(backend: str) -> None:
+        with LangCache().activate(), use_backend(backend):
+            solve(problem, limits=limits)
+
+    run("reference")  # warmup: imports, regex caches
+    ref_s, _ = _median_time(lambda: run("reference"))
+    bit_s, _ = _median_time(lambda: run("bitset"))
+    return "solve(wide.dprle)", ref_s, bit_s
+
+
+def main() -> int:
+    rows = _kernel_rows()
+    rows.append(_wide_end_to_end())
+
+    data, failed = {}, []
+    for name, ref_s, bit_s in rows:
+        speedup = ref_s / bit_s if bit_s else float("inf")
+        data[name] = {
+            "reference_ms": round(ref_s * 1e3, 2),
+            "bitset_ms": round(bit_s * 1e3, 2),
+            "speedup": round(speedup, 2),
+        }
+        marker = "" if speedup >= MIN_SPEEDUP else "  <-- SLOWER"
+        print(
+            f"{name:34s} ref {ref_s * 1e3:8.1f} ms   "
+            f"bitset {bit_s * 1e3:8.1f} ms   {speedup:5.1f}x{marker}"
+        )
+        if speedup < MIN_SPEEDUP:
+            failed.append(name)
+
+    write_json(
+        "backend_smoke",
+        "Bitset vs reference backend (Sec. 3.5 chain family, CPU-time medians)",
+        data,
+        backend="bitset",
+    )
+
+    if failed:
+        print(
+            f"FAIL: bitset backend slower than reference on: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: bitset backend at least {MIN_SPEEDUP:.1f}x on every row")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

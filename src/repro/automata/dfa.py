@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 from .. import obs
 from ..cache import active_cache
 from .alphabet import Alphabet
+from .backend import active_backend
 from .charset import CharSet, minterms
 from .nfa import Nfa
 
@@ -50,23 +51,49 @@ class Dfa:
         return self.transitions.keys()
 
     def delta(self, state: int, char: str | int) -> int:
-        """The unique successor of ``state`` on ``char``."""
+        """The unique successor of ``state`` on ``char``.
+
+        ``char`` must be drawn from the alphabet universe; a complete
+        DFA partitions exactly that universe, so a character outside it
+        has no successor *by construction*, not because the machine is
+        broken.  The two failure modes get distinct errors.
+        """
         cp = char if isinstance(char, int) else ord(char)
         for label, dst in self.transitions[state]:
             if cp in label:
                 return dst
+        if cp not in self.alphabet.universe:
+            raise ValueError(
+                f"character {cp!r} is outside the "
+                f"{self.alphabet.name} alphabet universe"
+            )
         raise ValueError(f"incomplete DFA: no move from {state} on {cp!r}")
 
     def accepts(self, text: str) -> bool:
+        """Membership in ``L(self)``.
+
+        Strings using characters outside the alphabet universe are
+        simply not in the language (``L ⊆ Σ*``), so they answer False
+        rather than raising.
+        """
+        if not self.alphabet.contains_string(text):
+            return False
         state = self.start
         for ch in text:
             state = self.delta(state, ch)
         return state in self.finals
 
     def complemented(self) -> "Dfa":
-        """Same machine with final and non-final states swapped."""
+        """Same machine with final and non-final states swapped.
+
+        The per-state move lists are copied, not shared: the complement
+        must stay independent of later in-place edits to either machine.
+        """
         finals = set(self.transitions) - self.finals
-        return Dfa(self.alphabet, dict(self.transitions), self.start, finals)
+        transitions = {
+            state: list(moves) for state, moves in self.transitions.items()
+        }
+        return Dfa(self.alphabet, transitions, self.start, finals)
 
     def is_empty(self) -> bool:
         seen = {self.start}
@@ -111,8 +138,11 @@ def determinize(nfa: Nfa) -> Dfa:
 
 def _determinize_instrumented(nfa: Nfa) -> Dfa:
     obs.count_operation("determinize")
-    with obs.span("determinize", states_in=nfa.num_states) as sp:
-        dfa = _determinize(nfa)
+    backend = active_backend()
+    with obs.span(
+        "determinize", states_in=nfa.num_states, backend=backend.name
+    ) as sp:
+        dfa = backend.determinize(nfa)
         sp.set("states_out", dfa.num_states)
         return dfa
 
@@ -192,8 +222,11 @@ def minimize_dfa(dfa: Dfa) -> Dfa:
     are dropped before refinement.
     """
     obs.count_operation("minimize")
-    with obs.span("hopcroft", states_in=dfa.num_states) as sp:
-        out = _minimize_dfa(dfa)
+    backend = active_backend()
+    with obs.span(
+        "hopcroft", states_in=dfa.num_states, backend=backend.name
+    ) as sp:
+        out = backend.minimize_dfa(dfa)
         sp.set("states_out", out.num_states)
         return out
 

@@ -20,6 +20,7 @@ from typing import Optional
 
 from .. import obs
 from ..cache import active_cache
+from .backend import active_backend
 from .charset import minterms
 from .dfa import complement, determinize
 from .nfa import BridgeTag, Nfa
@@ -205,55 +206,71 @@ def product(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
         # would.
         obs.increment_metric("cache.empty_shortcircuit")
         return Nfa.never(a.alphabet), {}
+    backend = active_backend()
     with obs.span(
-        "product", states_a=a.num_states, states_b=b.num_states
+        "product",
+        states_a=a.num_states,
+        states_b=b.num_states,
+        backend=backend.name,
     ) as sp:
-        out = Nfa(a.alphabet)
-        ids: dict[tuple[int, int], int] = {}
-        provenance: dict[int, tuple[int, int]] = {}
-        worklist: list[tuple[int, int]] = []
-
-        def intern(pair: tuple[int, int]) -> int:
-            if pair not in ids:
-                state = out.add_state()
-                ids[pair] = state
-                provenance[state] = pair
-                worklist.append(pair)
-            return ids[pair]
-
-        for p in a.starts:
-            for q in b.starts:
-                intern((p, q))
-        out.starts = set(ids.values())
-
-        while worklist:
-            pair = worklist.pop()
-            p, q = pair
-            src = ids[pair]
-            obs.visit_states(1)
-            for edge in a.out_edges(p):
-                if edge.is_epsilon:
-                    out.add_epsilon(src, intern((edge.dst, q)), edge.tag)
-            for edge in b.out_edges(q):
-                if edge.is_epsilon:
-                    out.add_epsilon(src, intern((p, edge.dst)), edge.tag)
-            for ea in a.out_edges(p):
-                if ea.is_epsilon:
-                    continue
-                for eb in b.out_edges(q):
-                    if eb.is_epsilon:
-                        continue
-                    both = ea.label & eb.label
-                    if not both.is_empty():
-                        out.add_transition(src, both, intern((ea.dst, eb.dst)))
-
-        out.finals = {
-            state
-            for state, (p, q) in provenance.items()
-            if p in a.finals and q in b.finals
-        }
+        out, provenance = backend.product(a, b)
         sp.set("states_out", out.num_states)
         return out, provenance
+
+
+def _product_reference(a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
+    """The reference pair-worklist product kernel.
+
+    Every backend's ``product`` must reproduce this output *exactly* —
+    same states in the same intern order, same edges, labels, and
+    bridge tags — because the GCI procedure reads bridge-crossing
+    structure (and the provenance map) off the result.
+    """
+    out = Nfa(a.alphabet)
+    ids: dict[tuple[int, int], int] = {}
+    provenance: dict[int, tuple[int, int]] = {}
+    worklist: list[tuple[int, int]] = []
+
+    def intern(pair: tuple[int, int]) -> int:
+        if pair not in ids:
+            state = out.add_state()
+            ids[pair] = state
+            provenance[state] = pair
+            worklist.append(pair)
+        return ids[pair]
+
+    for p in a.starts:
+        for q in b.starts:
+            intern((p, q))
+    out.starts = set(ids.values())
+
+    while worklist:
+        pair = worklist.pop()
+        p, q = pair
+        src = ids[pair]
+        obs.visit_states(1)
+        for edge in a.out_edges(p):
+            if edge.is_epsilon:
+                out.add_epsilon(src, intern((edge.dst, q)), edge.tag)
+        for edge in b.out_edges(q):
+            if edge.is_epsilon:
+                out.add_epsilon(src, intern((p, edge.dst)), edge.tag)
+        for ea in a.out_edges(p):
+            if ea.is_epsilon:
+                continue
+            for eb in b.out_edges(q):
+                if eb.is_epsilon:
+                    continue
+                both = ea.label & eb.label
+                if not both.is_empty():
+                    out.add_transition(src, both, intern((ea.dst, eb.dst)))
+
+    out.finals = {
+        state
+        for state, (p, q) in provenance.items()
+        if p in a.finals and q in b.finals
+    }
+    return out, provenance
 
 
 def intersect(a: Nfa, b: Nfa) -> Nfa:

@@ -489,7 +489,7 @@ class LangCache:
         exit.  When either signature is missing, the lazy check runs
         and its verdict is memoized under the structural key pair.
         """
-        from .automata.equivalence import counterexample
+        from .automata.backend import active_backend
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")
@@ -515,7 +515,7 @@ class LangCache:
             self._hit("is_subset")
             return stored == "y"
         self._miss("is_subset")
-        result = counterexample(a, b) is None
+        result = active_backend().is_subset(a, b)
         # Strings, not bools: `_get` treats the stored value None-ness
         # as presence, so encode the verdict in a always-truthy token.
         self._put(key, "y" if result else "n")
@@ -530,7 +530,7 @@ class LangCache:
         forcing a determinization — and the verdict is memoized under
         the (commutative) structural key pair.
         """
-        from .automata.equivalence import counterexample
+        from .automata.backend import active_backend
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")
@@ -547,9 +547,8 @@ class LangCache:
             self._hit("equivalent")
             return stored == "y"
         self._miss("equivalent")
-        result = (
-            counterexample(a, b) is None and counterexample(b, a) is None
-        )
+        backend = active_backend()
+        result = backend.is_subset(a, b) and backend.is_subset(b, a)
         self._put(key, "y" if result else "n")
         return result
 

@@ -45,6 +45,7 @@ class RegLangSolver:
         cache: Optional[CacheLimits] = None,
         workers: Optional[int] = None,
         precheck: bool = False,
+        backend: Optional[str] = None,
     ):
         self.alphabet = alphabet
         # Default fan-out for solves (see repro.parallel): None defers
@@ -53,6 +54,9 @@ class RegLangSolver:
         # Opt-in sound pruning via the repro.check abstract domains
         # (solution-preserving; see docs/DIAGNOSTICS.md).
         self.precheck = precheck
+        # Automata kernel set for solves (see repro.automata.backend):
+        # None defers to GciLimits/use_backend/DPRLE_BACKEND.
+        self.backend = backend
         self._constraints: list[Subset] = []
         self._vars: dict[str, Var] = {}
         self._consts: dict[str, Const] = {}
@@ -177,6 +181,8 @@ class RegLangSolver:
             limits = replace(limits or GciLimits(), workers=self.workers)
         if self.precheck and (limits is None or not limits.precheck):
             limits = replace(limits or GciLimits(), precheck=True)
+        if self.backend is not None and (limits is None or limits.backend is None):
+            limits = replace(limits or GciLimits(), backend=self.backend)
         with self.cache.activate(), ExitStack() as stack:
             if journal is not None:
                 stack.enter_context(obs.journal_to(journal))

@@ -102,6 +102,14 @@ class GciLimits:
     proved unsatisfiable skips the enumeration entirely.  The pruning
     is solution-preserving (see ``docs/DIAGNOSTICS.md``); counters
     ``check.pruned_nodes`` / ``check.proved_unsat`` record its effect.
+
+    ``backend`` names the automata kernel set
+    (:mod:`repro.automata.backend`) the solve runs under: ``None``
+    defers to whatever is already active (an enclosing
+    :func:`~repro.automata.backend.use_backend` block, else the
+    ``DPRLE_BACKEND`` environment variable, else ``"reference"``).
+    Worker processes re-install the same backend by name, so parallel
+    solves stay backend-consistent end to end.
     """
 
     max_solutions: Optional[int] = None
@@ -115,6 +123,7 @@ class GciLimits:
     workers: Optional[int] = None
     min_parallel_combinations: int = 64
     precheck: bool = False
+    backend: Optional[str] = None
 
 
 @dataclass

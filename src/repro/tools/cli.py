@@ -31,7 +31,8 @@ equivalent.  Three subcommands:
 
 ``solve``, ``check``, ``analyze``, and ``graph`` all take the same
 observability flags (``--stats-json``, ``--trace``, ``--journal``,
-cache and worker knobs) — see :func:`_add_observability_flags`.
+cache and worker knobs, and ``--backend`` to pick the automata kernel
+set — see ``docs/BACKENDS.md``) — see :func:`_add_observability_flags`.
 
 Examples::
 
@@ -58,6 +59,7 @@ from .. import obs
 from ..analysis.analyzer import analyze_source
 from ..analysis.attacks import ALL_ATTACKS, CONTAINS_QUOTE
 from ..analysis.corpus import build_corpus
+from ..automata.backend import available_backends, use_backend
 from ..cache import CacheLimits, LangCache
 from ..constraints.dsl import DslError, parse_problem
 from ..solver.gci import GciLimits
@@ -95,6 +97,11 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         "worker processes (docs/PARALLELISM.md); 0 forces serial, "
         "default honours the DPRLE_WORKERS environment variable",
     )
+    subparser.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="automata kernel set (docs/BACKENDS.md); default honours "
+        "the DPRLE_BACKEND environment variable, else 'reference'",
+    )
 
 
 def _cli_limits(args: argparse.Namespace) -> Optional[GciLimits]:
@@ -119,7 +126,7 @@ def _run_observed(args: argparse.Namespace, run) -> int:
     )
     want_collect = args.stats_json is not None or args.trace
     if not want_collect and args.journal is None:
-        with cache.activate():
+        with use_backend(args.backend), cache.activate():
             return run()
     collector = None
     with ExitStack() as stack:
@@ -134,6 +141,7 @@ def _run_observed(args: argparse.Namespace, run) -> int:
                 return 2
         if want_collect:
             collector = stack.enter_context(obs.collect())
+        stack.enter_context(use_backend(args.backend))
         stack.enter_context(cache.activate())
         code = run()
     if args.journal is not None:

@@ -1,6 +1,9 @@
 """Unit tests for determinization, complement, and minimization."""
 
+import pytest
+
 from repro.automata import (
+    BYTE_ALPHABET,
     Nfa,
     complement,
     determinize,
@@ -112,3 +115,35 @@ class TestDfaApi:
         comp = dfa.complemented()
         assert comp.num_states == dfa.num_states
         assert comp.finals == set(dfa.transitions) - dfa.finals
+
+    def test_complemented_is_independent_of_original(self):
+        # Regression: complemented() used to share the per-state move
+        # lists, so editing the complement corrupted the original.
+        dfa = determinize(machine("a"))
+        before = {state: list(moves) for state, moves in dfa.transitions.items()}
+        comp = dfa.complemented()
+        for state in comp.transitions:
+            comp.transitions[state].clear()
+        assert dfa.transitions == before
+        assert dfa.accepts("a")
+
+    def test_delta_out_of_universe_raises(self):
+        dfa = determinize(machine("ab"))
+        with pytest.raises(ValueError, match="outside the abc alphabet universe"):
+            dfa.delta(dfa.start, "z")
+
+    def test_delta_out_of_universe_byte_alphabet(self):
+        dfa = determinize(Nfa.literal("ab", BYTE_ALPHABET))
+        assert dfa.delta(dfa.start, "a") in dfa.transitions
+        with pytest.raises(ValueError, match="outside the bytes alphabet universe"):
+            dfa.delta(dfa.start, "€")
+
+    def test_accepts_out_of_universe_is_false(self):
+        # L ⊆ Σ*: strings with out-of-universe characters are simply
+        # not in the language — no error, just False.
+        restricted = determinize(machine("ab"))
+        assert not restricted.accepts("az")
+        assert not restricted.accepts("z")
+        byte = determinize(Nfa.literal("ab", BYTE_ALPHABET))
+        assert byte.accepts("ab")
+        assert not byte.accepts("a€")
