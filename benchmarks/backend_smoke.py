@@ -1,20 +1,26 @@
 """CI smoke check: the bitset backend must actually be faster.
 
-Times the three hot kernels (determinize, product, Hopcroft) under the
-reference and bitset backends on the Sec. 3.5 chain family — deep
-concatenation towers of small banded-random machines, the shape the
-chain-scaling benchmark sweeps — plus a wide.dprle end-to-end solve,
-and fails (exit 1) if the bitset backend is slower on any row.  The
-guard threshold is 1.0× (never a pessimization); the speedup
-multipliers are printed and recorded in ``BENCH_solver.json`` so the
-perf trajectory keeps the real numbers (≥5× on the kernel rows is the
-expected neighbourhood, see docs/BACKENDS.md).
+Times the hot kernels (determinize, product, Hopcroft, and the
+universal left quotient) under the reference and bitset backends on
+the Sec. 3.5 chain family — deep concatenation towers of small
+banded-random machines, the shape the chain-scaling benchmark sweeps —
+plus wide.dprle end-to-end solves, and fails (exit 1) if any row drops
+below its threshold.  Thresholds are per-row: kernel rows and the
+cached solve guard against pessimization (1.0×), while the uncached
+end-to-end solve must hold ≥2× — with no memo layer between the solver
+and the kernels, the backend speedup has to survive all the way to a
+user-visible solve, which is the regression the threshold pins (the
+quotient kernel and the minterm-space memo are what closed the gap;
+see docs/BACKENDS.md).  The speedup multipliers are printed and
+recorded in ``BENCH_solver.json`` so the perf trajectory keeps the
+real numbers.
 
 Timings are medians of CPU time (``time.process_time``): container
 wall clock is noisy (±30% run to run), process time is stable.
 Each kernel's outputs are also cross-checked (structure identity for
-determinize/product, minimal size for Hopcroft) so the smoke can never
-pass on a backend that got fast by being wrong.
+determinize/product, minimal size for Hopcroft, language equivalence
+for the quotient) so the smoke can never pass on a backend that got
+fast by being wrong.
 
 Usage::
 
@@ -32,7 +38,8 @@ import time
 from repro.automata import serialize
 from repro.automata.backend import get_backend, use_backend
 from repro.automata.dfa import _determinize, _minimize_dfa
-from repro.automata.ops import _product_reference, concat, union
+from repro.automata.equivalence import equivalent
+from repro.automata.ops import _left_quotient, _product_reference, concat, union
 from repro.cache import LangCache
 from repro.constraints import parse_problem
 from repro.solver import solve
@@ -50,7 +57,12 @@ TOWER_K = 12
 TOWER_Q = 4
 
 REPS = 3
-MIN_SPEEDUP = 1.0  # the guard: bitset must never be slower
+#: Default per-row guard: bitset must never be slower.
+MIN_SPEEDUP = 1.0
+#: The uncached end-to-end row must keep a real multiple (ISSUE 8's
+#: e2e-gap regression): kernels serve every operation, so the speedup
+#: they deliver has to be visible from ``solve()``.
+MIN_E2E_UNCACHED = 2.0
 
 
 def _tower(k: int, q: int, seed0: int = 100):
@@ -88,7 +100,7 @@ def _median_time(fn, *args, reps: int = REPS):
     return statistics.median(times), out
 
 
-def _kernel_rows() -> list[tuple[str, float, float]]:
+def _kernel_rows() -> list[tuple[str, float, float, float]]:
     bit = get_backend("bitset")
     exact, loose = _tower(TOWER_K, TOWER_Q)
     rows = []
@@ -97,7 +109,7 @@ def _kernel_rows() -> list[tuple[str, float, float]]:
         ref_s, ref_out = _median_time(ref_fn)
         bit_s, bit_out = _median_time(bit_fn)
         check(ref_out, bit_out)
-        rows.append((name, ref_s, bit_s))
+        rows.append((name, ref_s, bit_s, MIN_SPEEDUP))
 
     def same_structure(ref_out, bit_out):
         a = ref_out.to_nfa() if hasattr(ref_out, "complemented") else ref_out
@@ -110,6 +122,12 @@ def _kernel_rows() -> list[tuple[str, float, float]]:
 
     def same_size(ref_out, bit_out):
         assert ref_out.num_states == bit_out.num_states
+
+    def same_language(ref_out, bit_out):
+        # left_quotient is a language-faithful kernel: the bitset
+        # output may merge same-destination edges, so the check is
+        # equivalence, not structure identity.
+        assert equivalent(ref_out, bit_out)
 
     row(
         "determinize(exact)",
@@ -155,41 +173,68 @@ def _kernel_rows() -> list[tuple[str, float, float]]:
             lambda dfa=dfa: bit.minimize_dfa(dfa),
             same_size,
         )
+
+    # The universal quotient's track-set construction is exponential in
+    # the DFA, so the row uses a shallow sub-tower (k=3) — ~100 ms on
+    # the reference side, still an order of magnitude above timer noise.
+    q_exact, _ = _tower(3, TOWER_Q)
+    q_prefixes = random_nfa(
+        TOWER_Q, seed=100, edge_factor=0.8, label_style="banded"
+    )
+    row(
+        "left_quotient(prefix, tower3)",
+        lambda: _left_quotient(q_prefixes, q_exact),
+        lambda: bit.left_quotient(q_prefixes, q_exact),
+        same_language,
+    )
     return rows
 
 
-def _wide_end_to_end() -> tuple[str, float, float]:
+def _wide_end_to_end() -> list[tuple[str, float, float, float]]:
     problem = parse_problem((DATA / "wide.dprle").read_text())
     limits = GciLimits(workers=0)
 
-    def run(backend: str) -> None:
+    def run_cached(backend: str) -> None:
         with LangCache().activate(), use_backend(backend):
             solve(problem, limits=limits)
 
-    run("reference")  # warmup: imports, regex caches
-    ref_s, _ = _median_time(lambda: run("reference"))
-    bit_s, _ = _median_time(lambda: run("bitset"))
-    return "solve(wide.dprle)", ref_s, bit_s
+    def run_uncached(backend: str) -> None:
+        with use_backend(backend):
+            solve(problem, limits=limits)
+
+    run_cached("reference")  # warmup: imports, regex caches
+    rows = []
+    ref_s, _ = _median_time(lambda: run_cached("reference"))
+    bit_s, _ = _median_time(lambda: run_cached("bitset"))
+    rows.append(("solve(wide.dprle)", ref_s, bit_s, MIN_SPEEDUP))
+    # No language cache: every determinize/product/quotient reaches
+    # the kernels, so this row measures the backend itself end to end.
+    ref_s, _ = _median_time(lambda: run_uncached("reference"))
+    bit_s, _ = _median_time(lambda: run_uncached("bitset"))
+    rows.append(("solve(wide.dprle, no cache)", ref_s, bit_s, MIN_E2E_UNCACHED))
+    return rows
 
 
 def main() -> int:
     rows = _kernel_rows()
-    rows.append(_wide_end_to_end())
+    rows.extend(_wide_end_to_end())
 
     data, failed = {}, []
-    for name, ref_s, bit_s in rows:
+    for name, ref_s, bit_s, threshold in rows:
         speedup = ref_s / bit_s if bit_s else float("inf")
         data[name] = {
             "reference_ms": round(ref_s * 1e3, 2),
             "bitset_ms": round(bit_s * 1e3, 2),
             "speedup": round(speedup, 2),
+            "min_speedup": threshold,
         }
-        marker = "" if speedup >= MIN_SPEEDUP else "  <-- SLOWER"
+        marker = "" if speedup >= threshold else "  <-- BELOW THRESHOLD"
         print(
             f"{name:34s} ref {ref_s * 1e3:8.1f} ms   "
-            f"bitset {bit_s * 1e3:8.1f} ms   {speedup:5.1f}x{marker}"
+            f"bitset {bit_s * 1e3:8.1f} ms   {speedup:5.1f}x"
+            f" (need {threshold:.1f}x){marker}"
         )
-        if speedup < MIN_SPEEDUP:
+        if speedup < threshold:
             failed.append(name)
 
     write_json(
@@ -201,11 +246,11 @@ def main() -> int:
 
     if failed:
         print(
-            f"FAIL: bitset backend slower than reference on: {', '.join(failed)}",
+            f"FAIL: bitset backend below threshold on: {', '.join(failed)}",
             file=sys.stderr,
         )
         return 1
-    print(f"OK: bitset backend at least {MIN_SPEEDUP:.1f}x on every row")
+    print("OK: bitset backend meets the threshold on every row")
     return 0
 
 

@@ -39,6 +39,9 @@ Semantics contract (property-tested in ``tests/backend/``):
   provenance, because the GCI procedure reads bridge-crossing
   structure off its output.
 * ``is_empty``/``is_subset`` are plain boolean oracles.
+* ``left_quotient`` must be language-faithful; its output is only
+  ever consumed as a language (Galois maximization, signatures), so a
+  backend may merge transitions that share a destination.
 
 See ``docs/BACKENDS.md`` for the full contract and for how to add a
 native (Rust/C) backend behind the same protocol.
@@ -109,6 +112,16 @@ class AutomataBackend(Protocol):
         """Decide ``L(a) ⊆ L(b)``."""
         ...
 
+    def left_quotient(self, prefixes: "Nfa", language: "Nfa") -> "Nfa":
+        """The universal left quotient (language-faithful).
+
+        Backends may merge same-destination transitions, so two
+        backends' outputs are language-equal but not necessarily
+        structurally identical; callers must treat the result as a
+        language, never read structure off it.
+        """
+        ...
+
 
 class ReferenceBackend:
     """The original pure-Python dict-of-dicts kernels.
@@ -147,6 +160,11 @@ class ReferenceBackend:
         from .equivalence import counterexample
 
         return counterexample(a, b) is None
+
+    def left_quotient(self, prefixes: "Nfa", language: "Nfa") -> "Nfa":
+        from .ops import _left_quotient
+
+        return _left_quotient(prefixes, language)
 
 
 # -- the registry ------------------------------------------------------------

@@ -115,6 +115,38 @@ class _Minterms:
         return found
 
 
+#: Value-keyed memo of minterm spaces.  Every kernel compiles its
+#: operands against a minterm refinement of their labels, and the same
+#: machines flow through many kernel calls per solve (quotient
+#: fixpoints, repeated inclusion checks), so the partitions repeat
+#: heavily.  Keyed purely by (universe, label set) — block order is
+#: canonical (sorted by position) — the memo is semantically invisible:
+#: it only skips recomputing a deterministic pure function, so the
+#: backend stays stateless in the sense the protocol requires (worker
+#: processes simply grow their own).  Bounded by wholesale clearing,
+#: which costs at most one recomputation per retained space.
+_SPACE_MEMO_LIMIT = 1024
+_space_memo: dict[tuple, _Minterms] = {}
+
+
+def _minterm_space(labels: list[CharSet], universe: CharSet) -> _Minterms:
+    """The (memoized) minterm space of a label collection.
+
+    Duplicate labels do not change the partition, so the memo keys on
+    the label *set*; the shared instance also accumulates its
+    ``label_mask``/``charset`` memos across calls, which is where most
+    of the win comes from on repeat machines.
+    """
+    key = (universe, frozenset(labels))
+    space = _space_memo.get(key)
+    if space is None:
+        if len(_space_memo) >= _SPACE_MEMO_LIMIT:
+            _space_memo.clear()
+        space = _Minterms(labels, universe)
+        _space_memo[key] = space
+    return space
+
+
 class _Compiled:
     """A bitset view of one NFA over a shared minterm space.
 
@@ -203,7 +235,7 @@ class BitsetBackend:
     # -- determinize ----------------------------------------------------
 
     def determinize(self, nfa: Nfa) -> Dfa:
-        space = _Minterms(nfa.labels_from(nfa.states), nfa.alphabet.universe)
+        space = _minterm_space(nfa.labels_from(nfa.states), nfa.alphabet.universe)
         comp = _Compiled(nfa, space)
         no_uncovered = space.uncovered.is_empty()
 
@@ -294,7 +326,7 @@ class BitsetBackend:
         labels = [
             label for state in states for label, _ in dfa_transitions[state]
         ]
-        space = _Minterms(labels, dfa.alphabet.universe)
+        space = _minterm_space(labels, dfa.alphabet.universe)
         if not space.uncovered.is_empty():
             raise ValueError(
                 f"incomplete DFA: no move from {dfa.start} on "
@@ -540,7 +572,7 @@ class BitsetBackend:
     # -- product --------------------------------------------------------
 
     def product(self, a: Nfa, b: Nfa) -> tuple[Nfa, dict[int, tuple[int, int]]]:
-        space = _Minterms(
+        space = _minterm_space(
             a.labels_from(a.states) + b.labels_from(b.states),
             a.alphabet.universe,
         )
@@ -690,7 +722,7 @@ class BitsetBackend:
             return result
 
     def _is_subset(self, a: Nfa, b: Nfa) -> bool:
-        space = _Minterms(
+        space = _minterm_space(
             a.labels_from(a.states) + b.labels_from(b.states),
             a.alphabet.universe,
         )
@@ -719,6 +751,135 @@ class BitsetBackend:
             return True
         finally:
             obs.visit_states(visited)
+
+    # -- universal left quotient ----------------------------------------
+
+    def left_quotient(self, prefixes: Nfa, language: Nfa) -> Nfa:
+        """Universal left quotient by packed multi-track DFA runs.
+
+        Same construction as the reference (determinize ``language``,
+        seed-search the DFA states reachable on ``prefixes``, then run
+        all tracks at once accepting when every track accepts), but the
+        track set is one int bitmask and the whole per-minterm successor
+        family of a DFA state is one packed int (``n``-bit field per
+        minterm): stepping a track set on *all* minterms at once is one
+        ``OR`` per member bit.  Minterms that land on the same track
+        set are merged into one transition, so the output is
+        language-equal to the reference's but may have fewer edges
+        (``left_quotient`` is a language-faithful kernel — see the
+        backend contract).  Visit totals stay pinned to the reference:
+        one per seed-search pair, one per interned track set.
+        """
+        if prefixes.is_empty():
+            return Nfa.universal(language.alphabet)
+        from .dfa import determinize
+
+        dfa = determinize(language)
+        states = sorted(dfa.transitions)
+        n = len(states)
+        index = {state: i for i, state in enumerate(states)}
+
+        # Minterms over the DFA labels *and* the prefix labels: every
+        # label either side uses is then an exact union of blocks.
+        labels = [
+            label for moves in dfa.transitions.values() for label, _ in moves
+        ]
+        labels.extend(
+            edge.label
+            for state in prefixes.states
+            for edge in prefixes.out_edges(state)
+            if edge.label is not None
+        )
+        space = _minterm_space(labels, language.alphabet.universe)
+        nmt = len(space.blocks)
+        label_mask = space.label_mask
+
+        # packed[i]: minterm-indexed n-bit fields, field k holding the
+        # successor bit of DFA state i on block k.  step[i][k] is the
+        # same successor as a plain index (for the pair search).
+        packed = [0] * n
+        step = [[0] * nmt for _ in range(n)]
+        for state, moves in dfa.transitions.items():
+            i = index[state]
+            row = step[i]
+            for label, dst in moves:
+                dbit = 1 << index[dst]
+                didx = index[dst]
+                for k in _bits(label_mask(label)):
+                    packed[i] |= dbit << (k * n)
+                    row[k] = didx
+
+        # Seed search: DFA states reachable on some string of
+        # ``prefixes`` — the reference's (prefix state, DFA state) pair
+        # walk with label intersections as minterm-mask hits.
+        visited = 0
+        seeds = 0
+        start_d = index[dfa.start]
+        stack = [
+            (p, start_d) for p in prefixes.epsilon_closure(prefixes.starts)
+        ]
+        seen = set(stack)
+        prefix_finals = prefixes.finals
+        while stack:
+            p, d = stack.pop()
+            visited += 1
+            if p in prefix_finals:
+                seeds |= 1 << d
+            row = step[d]
+            for edge in prefixes.out_edges(p):
+                if edge.is_epsilon:
+                    nxt = (edge.dst, d)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+                else:
+                    for k in _bits(label_mask(edge.label)):
+                        nxt = (edge.dst, row[k])
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            stack.append(nxt)
+
+        # Universal run: track sets intern as ints; accepting iff every
+        # track is final.  The DFA is complete, so a nonempty track set
+        # steps to a nonempty one on every block (total coverage).
+        full_field = (1 << n) - 1
+        finals_mask = 0
+        for state in dfa.finals:
+            finals_mask |= 1 << index[state]
+        out = Nfa(language.alphabet)
+        ids: dict[int, int] = {}
+        worklist: list[int] = []
+
+        def intern(tracks: int) -> int:
+            sid = ids.get(tracks)
+            if sid is None:
+                sid = out.add_state()
+                ids[tracks] = sid
+                worklist.append(tracks)
+            return sid
+
+        out.starts = {intern(seeds)}
+        while worklist:
+            tracks = worklist.pop()
+            src = ids[tracks]
+            visited += 1
+            if tracks and not (tracks & ~finals_mask):
+                out.finals.add(src)
+            acc = 0
+            mask = tracks
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                acc |= packed[low.bit_length() - 1]
+            by_target: dict[int, int] = {}
+            for k in range(nmt):
+                target = (acc >> (k * n)) & full_field
+                if target:
+                    by_target[target] = by_target.get(target, 0) | (1 << k)
+            for target, blocks in by_target.items():
+                out.add_transition(src, space.charset(blocks), intern(target))
+        obs.visit_states(visited)
+        return out
 
 
 def _edge_views(

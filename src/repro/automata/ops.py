@@ -368,12 +368,19 @@ def left_quotient(prefixes: Nfa, language: Nfa) -> Nfa:
 
 def _left_quotient_instrumented(prefixes: Nfa, language: Nfa) -> Nfa:
     obs.count_operation("left_quotient")
+    backend = active_backend()
     with obs.span(
         "left_quotient",
         prefix_states=prefixes.num_states,
         language_states=language.num_states,
+        backend=backend.name,
     ) as sp:
-        out = _left_quotient(prefixes, language)
+        # Backends registered before the kernel existed keep working:
+        # absent the method, the reference construction runs.
+        impl = getattr(backend, "left_quotient", None)
+        out = impl(prefixes, language) if impl is not None else _left_quotient(
+            prefixes, language
+        )
         sp.set("states_out", out.num_states)
         return out
 

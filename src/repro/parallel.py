@@ -175,6 +175,23 @@ def encode_group(prepared, limits) -> dict[str, Any]:
         "leaves": [_enc_node(n) for n in prepared.leaves],
         "total_combinations": prepared.total_combinations,
         "factored_combinations": prepared.factored_combinations,
+        # The planner's verdict travels with the group: workers iterate
+        # the same survivor mask (hex-encoded — it is one big int) so a
+        # chunk walks exactly the combinations the parent accounted for.
+        "plan": None
+        if prepared.plan is None
+        else {
+            "mode": prepared.plan.mode,
+            "space": prepared.plan.space,
+            "pruned_equiv": prepared.plan.pruned_equiv,
+            "pruned_plan": prepared.plan.pruned_plan,
+            "survivors": prepared.plan.survivors,
+            "mask": (
+                format(prepared.plan.mask, "x")
+                if prepared.plan.mask is not None
+                else None
+            ),
+        },
         "limits": {
             "maximize": limits.maximize,
             "max_maximize_rounds": limits.max_maximize_rounds,
@@ -242,6 +259,23 @@ def _decode_payload(payload: dict[str, Any]) -> _WorkerState:
         tags.setdefault(label, BridgeTag(label)): [tuple(e) for e in edges]
         for label, edges in payload["edges_by_tag"]
     }
+    plan_doc = payload.get("plan")
+    plan = None
+    if plan_doc is not None:
+        from .solver.plan import EnumerationPlan
+
+        plan = EnumerationPlan(
+            mode=plan_doc["mode"],
+            space=plan_doc["space"],
+            pruned_equiv=plan_doc["pruned_equiv"],
+            pruned_plan=plan_doc["pruned_plan"],
+            survivors=plan_doc["survivors"],
+            mask=(
+                int(plan_doc["mask"], 16)
+                if plan_doc["mask"] is not None
+                else None
+            ),
+        )
     prepared = gci._PreparedGroup(
         machines=machines,
         occurrences=occurrences,
@@ -255,6 +289,7 @@ def _decode_payload(payload: dict[str, Any]) -> _WorkerState:
         leaves={Node(*n) for n in payload["leaves"]},
         total_combinations=payload["total_combinations"],
         factored_combinations=payload["factored_combinations"],
+        plan=plan,
     )
     limits = gci.GciLimits(
         maximize=payload["limits"]["maximize"],
@@ -344,18 +379,118 @@ def _chunk_ranges(total: int, workers: int) -> list[tuple[int, int]]:
     return [(s, min(s + size, total)) for s in range(0, total, size)]
 
 
-def _submit_chunks(
+class _ChunkSchedule:
+    """Submission state for one group's chunk fan-out.
+
+    ``order`` is the submission priority — best-first by exact
+    predicted yield (survivor popcount) for planned groups, canonical
+    otherwise; ``window`` bounds how many chunks may be submitted ahead
+    of the drain cursor (``None`` submits everything up front, today's
+    eager behaviour).  Each future is paired with its submit timestamp
+    so the drain can measure queue wait (submit → worker pickup, both
+    on the fork-shared perf_counter clock).
+
+    The drain consumes chunks in canonical order regardless of
+    scheduling, so the output stream is deterministic; the schedule
+    only decides *which work happens* when the consumer stops early.
+    """
+
+    def __init__(
+        self,
+        pool: ProcessPoolExecutor,
+        payload: dict[str, Any],
+        ranges: list[tuple[int, int]],
+        order: Optional[list[int]] = None,
+        window: Optional[int] = None,
+    ):
+        self.ranges = ranges
+        self._pool = pool
+        self._payload = payload
+        self._order = order if order is not None else list(range(len(ranges)))
+        self._window = window
+        self._tasks: list[Optional[tuple[Future, float]]] = [None] * len(ranges)
+        self._cursor = 0
+        self._submitted = 0
+        self._top_up(len(ranges) if window is None else window)
+
+    def _submit(self, chunk: int) -> None:
+        if self._tasks[chunk] is None:
+            start, stop = self.ranges[chunk]
+            self._tasks[chunk] = (
+                self._pool.submit(_run_chunk, self._payload, start, stop),
+                time.perf_counter(),
+            )
+            self._submitted += 1
+
+    def _top_up(self, target: int) -> None:
+        while self._submitted < target and self._cursor < len(self._order):
+            chunk = self._order[self._cursor]
+            self._cursor += 1
+            self._submit(chunk)
+
+    def task(self, chunk: int, consumed: int) -> tuple[Future, float]:
+        """The chunk's (future, submit time); submits it now if the
+        window had not reached it, and tops the window back up."""
+        self._submit(chunk)
+        if self._window is not None:
+            self._top_up(consumed + self._window)
+        entry = self._tasks[chunk]
+        assert entry is not None
+        return entry
+
+    def submitted(self, chunk: int) -> Optional[tuple[Future, float]]:
+        return self._tasks[chunk]
+
+
+def _schedule_chunks(
     pool: ProcessPoolExecutor,
     payload: dict[str, Any],
-    ranges: list[tuple[int, int]],
-) -> list[tuple[Future, float]]:
-    """Submit one task per chunk, pairing each future with its submit
-    timestamp so _drain can measure queue wait (submit -> worker
-    pickup, both on the fork-shared perf_counter clock)."""
-    return [
-        (pool.submit(_run_chunk, payload, s, e), time.perf_counter())
-        for s, e in ranges
-    ]
+    prepared,
+    limits,
+    workers: int,
+) -> _ChunkSchedule:
+    """Chunk the group's index space and pick the submission policy.
+
+    Unplanned groups keep the historical behaviour: every chunk
+    submitted eagerly, in canonical order.  A planned group with a
+    viability mask drops zero-survivor chunks entirely, submits
+    best-first by exact survivor count, and — when ``max_solutions``
+    caps the solve — throttles the in-flight window to
+    ``GciLimits.beam_width`` (or an automatic width: the canonical
+    chunk prefix whose cumulative predicted yield covers the cap, never
+    fewer than the worker count).
+    """
+    ranges = _chunk_ranges(prepared.index_space, workers)
+    plan = prepared.plan
+    order: Optional[list[int]] = None
+    window: Optional[int] = None
+    if (
+        plan is not None
+        and plan.mask is not None
+        and plan.mode in ("beam", "full")
+    ):
+        yields = [plan.count_survivors(s, e) for s, e in ranges]
+        keep = [i for i, y in enumerate(yields) if y > 0]
+        if len(keep) != len(ranges):
+            obs.increment_metric(
+                "parallel.chunks_pruned", len(ranges) - len(keep)
+            )
+        ranges = [ranges[i] for i in keep]
+        yields = [yields[i] for i in keep]
+        order = sorted(range(len(ranges)), key=lambda i: (-yields[i], i))
+        cap = limits.max_solutions
+        if cap is not None and ranges:
+            if limits.beam_width > 0:
+                window = limits.beam_width
+            else:
+                window, cumulative = 0, 0
+                for chunk_yield in yields:
+                    window += 1
+                    cumulative += chunk_yield
+                    if cumulative >= cap:
+                        break
+                window = max(window, workers)
+    return _ChunkSchedule(pool, payload, ranges, order=order, window=window)
 
 
 def parallel_candidates(
@@ -365,39 +500,41 @@ def parallel_candidates(
     ``gci._serial_candidates``): same ``(index, key, solution)`` stream,
     same canonical order, work fanned out across the pool.
 
-    Futures for every chunk are submitted eagerly; the generator drains
-    them in submission (= canonical) order.  Closing the generator
-    early — the consumer's streaming cap or safe-frontier exit — cancels
-    every chunk that has not started, which is what makes
-    ``max_solutions`` bound *work* across the pool, not just output.
+    Chunk submission follows the group's :class:`_ChunkSchedule` (eager
+    canonical for unplanned groups, best-first/beam for planned ones);
+    the generator drains chunks in canonical order.  Closing the
+    generator early — the consumer's streaming cap or safe-frontier
+    exit — cancels every submitted-but-unstarted chunk and never
+    submits the rest, which is what makes ``max_solutions`` bound
+    *work* across the pool, not just output.
     """
     payload = encode_group(prepared, limits)
     pool = _get_pool(workers)
-    ranges = _chunk_ranges(prepared.factored_combinations, workers)
-    tasks = _submit_chunks(pool, payload, ranges)
-    return _drain(prepared, tasks, ranges)
+    schedule = _schedule_chunks(pool, payload, prepared, limits, workers)
+    return _drain(prepared, schedule)
 
 
 def _drain(
     prepared,
-    tasks: list[tuple[Future, float]],
-    ranges: list[tuple[int, int]],
+    schedule: _ChunkSchedule,
 ) -> Iterator[tuple[int, Any, dict[Node, Nfa]]]:
     # Decoded solutions re-use the parent's tag objects and alphabet;
     # tag identity inside a solution machine is cosmetic (the consumer
     # only compares languages), but sharing keeps reprs coherent.
     tags = {tag.label: tag for tag in prepared.tag_order}
     alphabet = next(iter(prepared.machines.values())).alphabet
+    ranges = schedule.ranges
     drain_started = time.perf_counter()
     busy_by_pid: dict[int, float] = {}
     chunk_seconds: list[float] = []
     walked = 0
     consumed = 0
     try:
-        for (future, submitted), (start, stop) in zip(tasks, ranges):
+        for chunk, (start, stop) in enumerate(ranges):
+            future, submitted = schedule.task(chunk, consumed)
             consumed += 1
             results, snapshot = future.result()
-            walked += stop - start
+            walked += prepared.survivors_in(start, stop)
             if snapshot is not None:
                 # Pop the transport record before absorbing so the
                 # parent's merged metrics stay free of raw clock values.
@@ -418,7 +555,7 @@ def _drain(
                 chunk_seconds.append(busy)
                 obs.absorb(snapshot)
                 obs.progress(
-                    "gci_enumeration", walked, prepared.factored_combinations
+                    "gci_enumeration", walked, prepared.enumeration_space
                 )
             for index, key, docs in results:
                 solution = {
@@ -427,16 +564,18 @@ def _drain(
                 }
                 yield index, key, solution
     finally:
-        for (future, _submitted), (start, stop) in zip(
-            tasks[consumed:], ranges[consumed:]
-        ):
+        for chunk in range(consumed, len(ranges)):
+            entry = schedule.submitted(chunk)
+            if entry is None:
+                continue  # never submitted: pure skip, nothing ran
+            future, _submitted = entry
             if not future.cancel():
                 # Already running (or done): that work happened; count
                 # the whole chunk.  Its telemetry snapshot is lost —
                 # the cost of not blocking on a cancelled enumeration.
-                walked += stop - start
+                walked += prepared.survivors_in(*ranges[chunk])
         obs.increment_metric("gci.combinations_enumerated", walked)
-        skipped = prepared.factored_combinations - walked
+        skipped = prepared.enumeration_space - walked
         if skipped > 0:
             obs.increment_metric("gci.combinations_skipped", skipped)
         if chunk_seconds:
@@ -491,39 +630,36 @@ def solve_groups(
             else:
                 sp.set("combinations", prepared.total_combinations)
         if prepared is not None:
-            obs.increment_metric(
-                "gci.combinations_total", prepared.total_combinations
-            )
-            factored_out = (
-                prepared.total_combinations - prepared.factored_combinations
-            )
-            if factored_out:
-                obs.increment_metric("gci.combinations_factored", factored_out)
+            gci._emit_group_counters(prepared)
         prepared_groups.append(prepared)
 
-    plans: list = []
+    staged: list = []
     for prepared in prepared_groups:
         if prepared is None:
-            plans.append(None)
+            staged.append(None)
             continue
-        if prepared.factored_combinations >= limits.min_parallel_combinations:
+        if prepared.enumeration_space >= limits.min_parallel_combinations:
             payload = encode_group(prepared, limits)
             pool = _get_pool(workers)
-            ranges = _chunk_ranges(prepared.factored_combinations, workers)
-            plans.append((prepared, _submit_chunks(pool, payload, ranges), ranges))
+            staged.append(
+                (
+                    prepared,
+                    _schedule_chunks(pool, payload, prepared, limits, workers),
+                )
+            )
         else:
-            plans.append((prepared, None, None))
+            staged.append((prepared, None))
 
     out: list[list[dict[Node, Nfa]]] = []
-    for plan in plans:
-        if plan is None:
+    for stage in staged:
+        if stage is None:
             out.append([])
             continue
-        prepared, tasks, ranges = plan
-        if tasks is None:
+        prepared, schedule = stage
+        if schedule is None:
             candidates = gci._serial_candidates(prepared, limits)
         else:
-            candidates = _drain(prepared, tasks, ranges)
+            candidates = _drain(prepared, schedule)
         stream = gci._consume(prepared, limits, candidates)
         collected: list[dict[Node, Nfa]] = []
         try:

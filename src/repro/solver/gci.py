@@ -110,6 +110,17 @@ class GciLimits:
     ``DPRLE_BACKEND`` environment variable, else ``"reference"``).
     Worker processes re-install the same backend by name, so parallel
     solves stay backend-consistent end to end.
+
+    ``plan`` selects the enumeration planner (:mod:`repro.solver.plan`):
+    ``"off"`` (default) walks the factored space as-is; ``"equiv"``
+    collapses signature-interchangeable bridge edges before stage 5;
+    ``"beam"`` builds the viability bitmask and schedules parallel
+    chunks best-first by exact predicted yield; ``"full"`` does both.
+    Every mode preserves the output stream exactly (same solutions,
+    same order) — the planner only removes work that is provably
+    redundant.  ``beam_width`` caps the number of chunks in flight for
+    a planned parallel solve with a ``max_solutions`` cap (``0`` sizes
+    the window from the predicted yield).
     """
 
     max_solutions: Optional[int] = None
@@ -124,6 +135,8 @@ class GciLimits:
     min_parallel_combinations: int = 64
     precheck: bool = False
     backend: Optional[str] = None
+    plan: str = "off"
+    beam_width: int = 0
 
 
 @dataclass
@@ -173,13 +186,32 @@ def group_solutions(
             sp.set("combinations", 0)
             return
         sp.set("combinations", prepared.total_combinations)
+    _emit_group_counters(prepared)
+    yield from _consume(prepared, limits, _candidate_stream(prepared, limits))
+
+
+def _emit_group_counters(prepared: "_PreparedGroup") -> None:
+    """The per-group combination accounting, shared with the parallel
+    driver.  The identity the telemetry tests rely on::
+
+        total = factored + pruned_equiv + pruned_plan
+                + enumerated + skipped
+    """
     obs.increment_metric(
         "gci.combinations_total", prepared.total_combinations
     )
     factored_out = prepared.total_combinations - prepared.factored_combinations
     if factored_out:
         obs.increment_metric("gci.combinations_factored", factored_out)
-    yield from _consume(prepared, limits, _candidate_stream(prepared, limits))
+    if prepared.plan is not None:
+        if prepared.plan.pruned_equiv:
+            obs.increment_metric(
+                "gci.combinations_pruned_equiv", prepared.plan.pruned_equiv
+            )
+        if prepared.plan.pruned_plan:
+            obs.increment_metric(
+                "gci.combinations_pruned_plan", prepared.plan.pruned_plan
+            )
 
 
 def _candidate_stream(
@@ -192,7 +224,7 @@ def _candidate_stream(
     workers = resolve_workers(limits.workers)
     if (
         workers > 0
-        and prepared.factored_combinations >= limits.min_parallel_combinations
+        and prepared.enumeration_space >= limits.min_parallel_combinations
     ):
         return parallel_candidates(prepared, limits, workers)
     return _serial_candidates(prepared, limits)
@@ -214,6 +246,14 @@ class _PreparedGroup:
     memoizes the pairwise share intersections (trimmed, ``None`` when
     empty) keyed by the two occurrences' boundary keys; factoring fills
     it and :func:`_slice_combination` reads it back.
+
+    ``plan`` is the enumeration planner's verdict
+    (:class:`repro.solver.plan.EnumerationPlan`, ``None`` when
+    ``GciLimits.plan`` is ``"off"``).  Planning may collapse
+    ``edges_by_tag`` further (one representative per signature class),
+    so the canonical index space actually walked is
+    :attr:`index_space`, and :attr:`enumeration_space` is the survivor
+    count the enumerated/skipped accounting is measured against.
     """
 
     machines: dict[Node, Nfa]
@@ -227,6 +267,30 @@ class _PreparedGroup:
     factored_combinations: int
     slice_memo: dict[tuple, Optional[Nfa]] = field(default_factory=dict)
     pair_memo: dict[tuple, Optional[Nfa]] = field(default_factory=dict)
+    plan: Optional[Any] = None
+
+    @property
+    def index_space(self) -> int:
+        """The canonical index space over the current edge lists."""
+        space = 1
+        for tag in self.tag_order:
+            space *= len(self.edges_by_tag[tag])
+        return space
+
+    @property
+    def enumeration_space(self) -> int:
+        """How many combinations stage 5 can walk at most (survivors
+        of the plan's viability mask; the whole index space without
+        one)."""
+        if self.plan is not None:
+            return self.plan.survivors
+        return self.factored_combinations
+
+    def survivors_in(self, start: int, stop: int) -> int:
+        """Walkable combinations with canonical index in [start, stop)."""
+        if self.plan is not None:
+            return self.plan.count_survivors(start, stop)
+        return max(0, stop - start)
 
 
 def _serial_candidates(
@@ -248,7 +312,7 @@ def _serial_candidates(
             yield index, None, solution
     finally:
         obs.increment_metric("gci.combinations_enumerated", progress[0])
-        skipped = prepared.factored_combinations - progress[0]
+        skipped = prepared.enumeration_space - progress[0]
         if skipped > 0:
             obs.increment_metric("gci.combinations_skipped", skipped)
 
@@ -279,18 +343,29 @@ def _iter_candidates(
     stop = total if stop is None else min(stop, total)
     if start >= stop:
         return
-    digits = _digits_at(start, radices)
-    for index in range(start, stop):
+    plan = prepared.plan
+    if plan is not None and plan.mask is not None:
+        # Planned walk: only the viability-mask survivors, by index.
+        indices: Any = plan.iter_survivors(start, stop)
+        digits = None
+    else:
+        indices = range(start, stop)
+        digits = _digits_at(start, radices)
+    for index in indices:
+        if digits is None:
+            current = _digits_at(index, radices)
+        else:
+            current = digits
         if progress is not None:
-            # Serial path: heartbeat against the group's factored space
+            # Serial path: heartbeat against the group's walkable space
             # (the parallel path reports per-chunk from _drain instead).
             progress[0] += 1
             obs.progress(
-                "gci_enumeration", progress[0], prepared.factored_combinations
+                "gci_enumeration", progress[0], prepared.enumeration_space
             )
         with obs.span("gci_combination") as sp:
             chosen = {
-                tag: edge_lists[pos][digits[pos]]
+                tag: edge_lists[pos][current[pos]]
                 for pos, tag in enumerate(prepared.tag_order)
             }
             solution = _slice_combination(prepared, chosen)
@@ -306,11 +381,12 @@ def _iter_candidates(
             sp.set("viable", solution is not None)
         if solution is not None:
             yield index, solution
-        for pos in range(len(digits) - 1, -1, -1):
-            digits[pos] += 1
-            if digits[pos] < radices[pos]:
-                break
-            digits[pos] = 0
+        if digits is not None:
+            for pos in range(len(digits) - 1, -1, -1):
+                digits[pos] += 1
+                if digits[pos] < radices[pos]:
+                    break
+                digits[pos] = 0
 
 
 def _digits_at(index: int, radices: list[int]) -> list[int]:
@@ -692,7 +768,7 @@ def _prepare_group(
                 constraint_specs.append((const_machine(const_node), leaf_seq))
 
     var_nodes = sorted((n for n in leaves if n.is_var), key=lambda n: n.name)
-    return _PreparedGroup(
+    prepared = _PreparedGroup(
         machines=machines,
         occurrences=occurrences,
         tag_order=tag_order,
@@ -705,6 +781,11 @@ def _prepare_group(
         slice_memo=slice_memo,
         pair_memo=pair_memo,
     )
+    if limits.plan != "off":
+        from .plan import build_plan
+
+        prepared.plan = build_plan(prepared, limits)
+    return prepared
 
 
 def _factor_edges(
@@ -877,7 +958,9 @@ def _share_intersection(
     """
     pair_key = (key1, key2) if key1[0] < key2[0] else (key2, key1)
     if pair_key in pair_memo:
+        obs.increment_metric("gci.pair_memo_hits")
         return pair_memo[pair_key]
+    obs.increment_metric("gci.pair_memo_misses")
     a = _occurrence_slice(
         machines, occurrences[key1[0]], key1[0], key1[1], key1[2], memo
     )
@@ -912,7 +995,9 @@ def _occurrence_slice(
     """
     key = (occ_index, start_edge, final_edge)
     if key in memo:
+        obs.increment_metric("gci.slice_memo_hits")
         return memo[key]
+    obs.increment_metric("gci.slice_memo_misses")
     piece = machines[occ.top].copy()
     if start_edge is not None:
         piece.set_start(start_edge[1])

@@ -120,6 +120,7 @@ def _solve_graph(
         "solve",
         variables=len(variable_names),
         backend=active_backend().name,
+        plan=limits.plan,
     ) as solve_span:
         # -- Constant-to-constant constraints are pure checks: a violated
         # one makes the whole system unsatisfiable regardless of variables.

@@ -63,6 +63,7 @@ from ..automata.backend import available_backends, use_backend
 from ..cache import CacheLimits, LangCache
 from ..constraints.dsl import DslError, parse_problem
 from ..solver.gci import GciLimits
+from ..solver.plan import PLAN_MODES
 from ..solver.worklist import solve
 
 __all__ = ["main"]
@@ -102,15 +103,34 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
         help="automata kernel set (docs/BACKENDS.md); default honours "
         "the DPRLE_BACKEND environment variable, else 'reference'",
     )
+    subparser.add_argument(
+        "--plan", choices=PLAN_MODES, default="off",
+        help="GCI enumeration planner (docs/PLANNER.md): 'equiv' "
+        "collapses signature-interchangeable bridge edges, 'beam' "
+        "prunes and schedules by the viability mask, 'full' does both "
+        "(default %(default)s; output is identical in every mode)",
+    )
+    subparser.add_argument(
+        "--beam-width", type=int, default=0, metavar="N",
+        help="max chunks in flight for a planned parallel solve with "
+        "--max-solutions (0 sizes the window from predicted yield)",
+    )
 
 
 def _cli_limits(args: argparse.Namespace) -> Optional[GciLimits]:
     """GCI limits from CLI flags; None when every flag is at its
     default (so library defaults — including DPRLE_WORKERS — apply)."""
     precheck = bool(getattr(args, "precheck", False))
-    if args.workers is None and not precheck:
+    plan = getattr(args, "plan", "off")
+    beam_width = int(getattr(args, "beam_width", 0))
+    if args.workers is None and not precheck and plan == "off" and not beam_width:
         return None
-    return GciLimits(workers=args.workers, precheck=precheck)
+    return GciLimits(
+        workers=args.workers,
+        precheck=precheck,
+        plan=plan,
+        beam_width=beam_width,
+    )
 
 
 def _run_observed(args: argparse.Namespace, run) -> int:

@@ -140,6 +140,7 @@ class TestCorpusPins:
         "xss.dprle": set(),
         "const_exprs.dprle": set(),
         "wide.dprle": set(),
+        "wider.dprle": {"D100"},
         "unsat_static.dprle": {"D020", "D021"},
         "warn_wide.dprle": {"D100"},
     }

@@ -1,0 +1,77 @@
+"""Property tests for the pre-solve cost estimator vs stage-5 reality.
+
+``repro.check.cost.estimate_group`` predicts a CI-group's combination
+count from machine sizes alone, before anything is determinized.  The
+prediction must be a *sound ceiling* on the ``gci.combinations_total``
+the solve later reports — and stage-5's work-shrinking passes
+(bridge-edge factoring, and every mode of the enumeration planner,
+docs/PLANNER.md) must never break that: they reduce which combinations
+get *enumerated*, never what ``combinations_total`` accounts for, so
+the bound and the ledger identity hold in every configuration.
+"""
+
+from hypothesis import given, settings
+
+from repro import obs
+from repro.cache import LangCache
+from repro.check.cost import estimate_groups
+from repro.constraints.depgraph import build_graph
+from repro.constraints.terms import Const, Problem, Subset, Var
+from repro.solver import solve
+from repro.solver.gci import GciLimits
+from repro.solver.plan import PLAN_MODES
+
+from ..helpers import AB
+from .strategies import machines
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+LEDGER = ("factored", "pruned_equiv", "pruned_plan", "enumerated", "skipped")
+
+
+def _shared_chain_problem(c1, c2, c3) -> Problem:
+    """x·y ⊆ c1, y·z ⊆ c2 with unary bounds: the shared variable ``y``
+    makes factoring bite, and duplicated constants give the planner's
+    signature collapse real symmetry to find."""
+    return Problem(
+        [
+            Subset(Var("x"), Const("c3", c3)),
+            Subset(Var("y"), Const("c3", c3)),
+            Subset(Var("z"), Const("c3", c3)),
+            Subset(Var("x").concat(Var("y")), Const("c1", c1)),
+            Subset(Var("y").concat(Var("z")), Const("c2", c2)),
+        ],
+        alphabet=AB,
+    )
+
+
+def _solve_counters(problem, mode):
+    with LangCache().activate(), obs.collect() as collector:
+        solve(
+            problem,
+            limits=GciLimits(plan=mode, max_combinations=100_000),
+        )
+    return collector.metrics.snapshot()["counters"]
+
+
+@SETTINGS
+@given(machines(max_depth=2), machines(max_depth=2), machines(max_depth=2))
+def test_estimate_bounds_total_under_factoring_and_planning(c1, c2, c3):
+    problem = _shared_chain_problem(c1, c2, c3)
+    graph, _ = build_graph(problem)
+    predicted = sum(e.estimated_combinations for e in estimate_groups(graph))
+
+    totals = set()
+    for mode in PLAN_MODES:
+        counters = _solve_counters(problem, mode)
+        total = counters.get("gci.combinations_total", 0)
+        # The static prediction stays an upper bound in every mode.
+        assert total <= predicted, (mode, total, predicted)
+        # Planning/factoring move combinations between ledger columns;
+        # the accounted-for space itself is mode-independent.
+        totals.add(total)
+        parts = sum(
+            counters.get(f"gci.combinations_{part}", 0) for part in LEDGER
+        )
+        assert total == parts, (mode, counters)
+    assert len(totals) == 1, totals

@@ -28,6 +28,7 @@ EXPECTATIONS = {
     "xss.dprle": (True, 1, {"name": ("<script>alert1", "harmless")}),
     "const_exprs.dprle": (True, 1, {"v": ("42", "7")}),
     "wide.dprle": (True, 8, {"va": ("a", "aaaaaaaa")}),
+    "wider.dprle": (True, 8, {"va": ("a", "aaaaaaaa")}),
     "unsat_static.dprle": (False, None, {}),
     "warn_wide.dprle": (True, 10, {"va": ("a", "aaaaaaaaaa")}),
 }
