@@ -36,7 +36,9 @@ def shortest_string(nfa: Nfa) -> Optional[str]:
     # parent[state] = (previous state, character or None)
     parent: dict[int, tuple[Optional[int], Optional[str]]] = {}
     queue: deque[int] = deque()
-    for start in nfa.starts:
+    # Sorted so the BFS tie-break — and therefore the witness string —
+    # is a function of the machine, not of set iteration order.
+    for start in sorted(nfa.starts):
         parent[start] = (None, None)
         queue.appendleft(start)
 
@@ -208,8 +210,12 @@ def random_string(
     Performs a random walk over live states, stopping at final states
     with probability proportional to remaining budget.  Used by the
     property-based tests to sample counterexample candidates.
+
+    Without an explicit ``rng`` the walk is seeded with 0 so repeated
+    runs — and test reruns — sample the same strings; pass your own
+    ``random.Random`` to vary the draw.
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     live = nfa.live_states()
     current = [s for s in nfa.epsilon_closure(nfa.starts) if s in live]
     if not current:
@@ -220,9 +226,11 @@ def random_string(
         can_stop = bool(state_set & nfa.finals)
         if can_stop and rng.random() < max(0.15, len(chars) / max_length):
             return "".join(chars)
+        # Sorted for determinism: minterms() happens to canonicalize its
+        # output today, but a seeded walk should not depend on that.
         labels = [
             edge.label
-            for state in state_set
+            for state in sorted(state_set)
             for edge in nfa.out_edges(state)
             if edge.label is not None and edge.dst in live
         ]

@@ -70,7 +70,7 @@ class _Minterms:
 
     __slots__ = ("blocks", "reps", "full", "uncovered", "_label_masks", "_charsets")
 
-    def __init__(self, labels: list[CharSet], universe: CharSet):
+    def __init__(self, labels: list[CharSet], universe: CharSet) -> None:
         self.blocks = minterms(labels)
         self.reps = [block.min_char() for block in self.blocks]
         self.full = (1 << len(self.blocks)) - 1
@@ -157,7 +157,7 @@ class _Compiled:
 
     __slots__ = ("index", "closure", "rows", "start_mask", "finals_mask")
 
-    def __init__(self, nfa: Nfa, space: _Minterms):
+    def __init__(self, nfa: Nfa, space: _Minterms) -> None:
         states = sorted(nfa.states)
         index = {state: i for i, state in enumerate(states)}
         self.index = index

@@ -242,9 +242,11 @@ def _minimize_dfa(dfa: Dfa) -> Dfa:
                 reachable.add(dst)
                 queue.append(dst)
 
+    # Sorted so partition refinement sees a state order that is a
+    # function of the machine, not of set iteration order.
     all_labels = [
         label
-        for state in reachable
+        for state in sorted(reachable)
         for label, _ in dfa.transitions[state]
     ]
     symbols = minterms(all_labels)
@@ -252,7 +254,7 @@ def _minimize_dfa(dfa: Dfa) -> Dfa:
 
     # delta[s][k] = successor of s on symbol block k.
     delta: dict[int, list[int]] = {}
-    for state in reachable:
+    for state in sorted(reachable):
         row = []
         for rep in reps:
             row.append(dfa.delta(state, rep))

@@ -216,6 +216,7 @@ class Nfa:
     def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
         """All states reachable from ``states`` via ε-transitions."""
         seen = set(states)
+        # dprle-lint: disable=L030 -- traversal order only; the result is a frozenset
         stack = list(seen)
         while stack:
             state = stack.pop()
@@ -385,6 +386,7 @@ class Nfa:
         """The unique start state (raises unless normalized)."""
         if len(self.starts) != 1:
             raise ValueError("machine does not have a unique start state")
+        # dprle-lint: disable=L030 -- singleton by the guard above; the pick is unique
         return next(iter(self.starts))
 
     @property
@@ -392,6 +394,7 @@ class Nfa:
         """The unique final state (raises unless normalized)."""
         if len(self.finals) != 1:
             raise ValueError("machine does not have a unique final state")
+        # dprle-lint: disable=L030 -- singleton by the guard above; the pick is unique
         return next(iter(self.finals))
 
     def __repr__(self) -> str:

@@ -172,6 +172,7 @@ class YieldModel:
 def estimate_group(graph: DepGraph, group: set[Node]) -> GroupEstimate:
     """Predict the bridge-combination ceiling for one CI-group."""
     sizes: dict[Node, _SizeEstimate] = {}
+    # dprle-lint: disable=L030 -- fills a keyed dict of exact int estimates; consumption order is canonicalized by group_temps_in_order
     for leaf in (n for n in group if not n.is_temp):
         if leaf.is_const:
             machine = graph.machine(leaf)

@@ -257,6 +257,7 @@ def _min_length(trimmed: Nfa) -> int:
     """Length of a shortest member (0-1 BFS; trimmed, non-empty input)."""
     dist: dict[int, int] = {}
     queue: deque[int] = deque()
+    # dprle-lint: disable=L030 -- returns the minimum length; 0-1 BFS tie order cannot change it
     for start in trimmed.starts:
         dist[start] = 0
         queue.appendleft(start)

@@ -198,6 +198,7 @@ class DepGraph:
     def group_temps_in_order(self, group: Iterable[Node]) -> list[Node]:
         """Temps of a CI-group, operands before results (topological)."""
         group_set = set(group)
+        # dprle-lint: disable=L030 -- order canonicalized below: every Kahn ready batch is name-sorted
         temps = [n for n in group_set if n.is_temp]
         deps: dict[Node, set[Node]] = {}
         for temp in temps:

@@ -1,0 +1,123 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "root_name",
+    "walk_scope",
+    "returns_machine",
+    "string_arg",
+    "reduce_fstring",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The terminal name of a call target: ``obs.span`` -> ``span``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base Name of an attribute/subscript chain: ``self.x[i].y`` -> ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_MACHINE_TYPES = {"Nfa", "Dfa"}
+
+
+def _annotation_names(node: Optional[ast.expr]) -> set[str]:
+    if node is None:
+        return set()
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations: '"Nfa"', 'Optional["Dfa"]', ...
+            for token in _MACHINE_TYPES:
+                if token in sub.value:
+                    names.add(token)
+    return names
+
+
+def returns_machine(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True if the return annotation mentions ``Nfa`` or ``Dfa``."""
+    return bool(_annotation_names(func.returns) & _MACHINE_TYPES)
+
+
+def string_arg(call: ast.Call, index: int = 0) -> Optional[str]:
+    """Positional arg ``index`` if it is a string literal, else None."""
+    if len(call.args) > index:
+        arg = call.args[index]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def reduce_fstring(node: ast.JoinedStr) -> Optional[str]:
+    """Reduce an f-string metric name to a schema pattern.
+
+    ``f"cache.hit.{op}"`` -> ``"cache.hit.*"``.  Each interpolation must
+    span exactly one dot-free segment; a segment mixing literal text and
+    an interpolation (``f"worker_{pid}.x"``) is not statically checkable
+    and yields None.
+    """
+    hole = "\x00"
+    parts: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        elif isinstance(value, ast.FormattedValue):
+            parts.append(hole)
+        else:
+            return None
+    segments = "".join(parts).split(".")
+    reduced: list[str] = []
+    for segment in segments:
+        if hole not in segment:
+            reduced.append(segment)
+        elif segment == hole:
+            reduced.append("*")
+        else:
+            return None
+    return ".".join(reduced)

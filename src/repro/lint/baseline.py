@@ -1,0 +1,107 @@
+"""Baseline files: grandfathered findings and stale-entry detection.
+
+A baseline is a committed JSON file listing fingerprints of known
+findings.  ``apply_baseline`` removes matching findings from a report
+(they count as ``baselined``, not live) and reports baseline entries
+that matched nothing as *stale* — a fixed finding must be removed from
+the baseline, keeping the file honest.  CI therefore fails on any *new*
+finding while tolerating the grandfathered set.
+
+Fingerprints (:meth:`repro.lint.diagnostics.LintFinding.fingerprint`)
+hash (file, code, normalized source text), not line numbers, so
+unrelated edits that shift code do not churn the baseline.  Identical
+violations on identical lines are matched by multiplicity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from .diagnostics import LintFinding, LintReport
+
+__all__ = ["BASELINE_SCHEMA", "load_baseline", "write_baseline", "apply_baseline"]
+
+BASELINE_SCHEMA = "dprle.lint-baseline/1"
+
+
+def _finding_fingerprint(finding: LintFinding) -> str:
+    source_line = ""
+    path = Path(finding.file)
+    if path.is_file() and finding.line > 0:
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        if finding.line <= len(lines):
+            source_line = lines[finding.line - 1]
+    return finding.fingerprint(source_line)
+
+
+def load_baseline(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Load baseline entries; raises ValueError on a foreign document."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"not a {BASELINE_SCHEMA} document: {path}")
+    entries = data.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline: {path}")
+    return entries
+
+
+def write_baseline(report: LintReport, path: Union[str, Path]) -> int:
+    """Write every live finding of ``report`` as a baseline entry.
+
+    Returns the number of entries written.  Entries carry the file,
+    code, and a summary alongside the fingerprint so stale entries can
+    be reported meaningfully and the file reviews well in diffs.
+    """
+    entries = [
+        {
+            "fingerprint": _finding_fingerprint(finding),
+            "file": finding.file,
+            "code": finding.code,
+            "summary": finding.message,
+        }
+        for finding in report.sorted_findings()
+    ]
+    document = {"schema": BASELINE_SCHEMA, "entries": entries}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(report: LintReport, entries: list[dict[str, Any]]) -> LintReport:
+    """Split ``report`` against baseline ``entries``.
+
+    Returns a new report where baselined findings are removed (counted
+    in ``baselined``) and unmatched entries appear in
+    ``stale_baseline``.  Matching is by fingerprint with multiplicity:
+    two identical findings need two identical entries.
+    """
+    budget: dict[str, int] = {}
+    for entry in entries:
+        fp = entry.get("fingerprint", "")
+        budget[fp] = budget.get(fp, 0) + 1
+
+    filtered = LintReport(
+        files_checked=report.files_checked,
+        suppressed=report.suppressed,
+    )
+    used: dict[str, int] = {}
+    for finding in report.findings:
+        fp = _finding_fingerprint(finding)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            used[fp] = used.get(fp, 0) + 1
+            filtered.baselined += 1
+        else:
+            filtered.add(finding)
+
+    for entry in entries:
+        fp = entry.get("fingerprint", "")
+        if used.get(fp, 0) > 0:
+            used[fp] -= 1
+        else:
+            filtered.stale_baseline.append(dict(entry))
+    return filtered

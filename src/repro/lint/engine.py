@@ -1,0 +1,234 @@
+"""The lint engine: file discovery, suppression comments, rule driving.
+
+The engine parses each Python file once, hands the shared
+:class:`FileContext` to every selected rule, and filters the resulting
+findings through in-source suppression comments.  Baseline filtering is
+layered on top by :mod:`repro.lint.baseline`.
+
+Suppression grammar (anywhere in a ``#`` comment)::
+
+    # dprle-lint: disable=L001            — this line and the next
+    # dprle-lint: disable=L001,L030 -- rationale
+    # dprle-lint: disable-file=L040 -- rationale
+    # dprle-lint: identity-sensitive      — marks the enclosing region
+                                            for the L002 cache rule
+
+A ``disable`` comment covers findings on its own line *and* the
+following line, so it can ride on the offending statement or sit on a
+line of its own above it.  Rationale text after ``--`` is encouraged
+(docs/LINTING.md) but not enforced syntactically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .diagnostics import LintFinding, LintReport
+
+__all__ = ["FileContext", "collect_files", "lint_file", "run_lint", "SKIP_DIRS"]
+
+#: Directory names never descended into during discovery.  ``fixtures``
+#: matters: lint fixture files are deliberate true positives and must
+#: not fail the CI leg that lints ``tests/`` — but an explicitly named
+#: file is always linted, which is how the fixture tests run the rules.
+SKIP_DIRS = frozenset({"fixtures", "__pycache__", "build", "dist"})
+
+_DIRECTIVE = re.compile(
+    r"#\s*dprle-lint:\s*"
+    r"(?P<kind>disable-file|disable|identity-sensitive)"
+    r"(?:=(?P<codes>[A-Z0-9, ]+))?"
+)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+    #: line number -> set of codes disabled for that line and the next
+    line_disables: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: codes disabled for the whole file
+    file_disables: frozenset[str] = frozenset()
+    #: line numbers carrying an ``identity-sensitive`` marker
+    identity_markers: frozenset[int] = frozenset()
+
+    def finding(
+        self,
+        code: str,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> LintFinding:
+        return LintFinding.make(
+            code,
+            message,
+            file=self.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+            hint=hint,
+        )
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def is_suppressed(self, finding: LintFinding) -> bool:
+        if finding.code in self.file_disables:
+            return True
+        for line in (finding.line, finding.line - 1):
+            codes = self.line_disables.get(line)
+            if codes and finding.code in codes:
+                return True
+        return False
+
+
+def _parse_directives(
+    lines: Sequence[str],
+) -> tuple[dict[int, frozenset[str]], frozenset[str], frozenset[int]]:
+    line_disables: dict[int, frozenset[str]] = {}
+    file_disables: set[str] = set()
+    markers: set[int] = set()
+    for lineno, text in enumerate(lines, start=1):
+        if "dprle-lint" not in text:
+            continue
+        match = _DIRECTIVE.search(text)
+        if not match:
+            continue
+        kind = match.group("kind")
+        codes = frozenset(
+            code.strip()
+            for code in (match.group("codes") or "").split(",")
+            if code.strip()
+        )
+        if kind == "identity-sensitive":
+            markers.add(lineno)
+        elif kind == "disable-file":
+            file_disables |= codes
+        else:
+            line_disables[lineno] = line_disables.get(lineno, frozenset()) | codes
+    return line_disables, frozenset(file_disables), frozenset(markers)
+
+
+def collect_files(paths: Iterable[str]) -> tuple[list[Path], list[str]]:
+    """Expand paths to ``.py`` files.  Returns (files, missing-paths).
+
+    Directories are walked recursively, skipping :data:`SKIP_DIRS` and
+    hidden directories; explicitly named files are always included.
+    """
+    files: list[Path] = []
+    missing: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(
+                    part in SKIP_DIRS or part.startswith(".")
+                    for part in relative.parts[:-1]
+                ):
+                    continue
+                files.append(candidate)
+        else:
+            missing.append(raw)
+    unique: dict[str, Path] = {}
+    for candidate in files:
+        unique.setdefault(str(candidate), candidate)
+    return list(unique.values()), missing
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_file(
+    path: Path,
+    select: Optional[Sequence[str]] = None,
+) -> tuple[list[LintFinding], int]:
+    """Lint one file.  Returns (live findings, suppressed count)."""
+    from .rules import available_rules, get_rule
+
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [
+            LintFinding.make("L000", f"cannot read file: {exc}", file=display, line=0)
+        ], 0
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintFinding.make(
+                "L000",
+                f"syntax error: {exc.msg}",
+                file=display,
+                line=exc.lineno or 0,
+                column=(exc.offset or 1) - 1,
+            )
+        ], 0
+
+    lines = source.splitlines()
+    line_disables, file_disables, markers = _parse_directives(lines)
+    ctx = FileContext(
+        path=display,
+        tree=tree,
+        source=source,
+        lines=lines,
+        line_disables=line_disables,
+        file_disables=file_disables,
+        identity_markers=markers,
+    )
+
+    wanted = set(select) if select else None
+    live: list[LintFinding] = []
+    suppressed = 0
+    for name in available_rules():
+        rule = get_rule(name)
+        if wanted is not None and not (set(rule.codes) & wanted):
+            continue
+        for finding in rule.check(ctx):
+            if wanted is not None and finding.code not in wanted:
+                continue
+            if ctx.is_suppressed(finding):
+                suppressed += 1
+            else:
+                live.append(finding)
+    return live, suppressed
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint all ``.py`` files under ``paths`` with the selected rules.
+
+    ``select`` restricts to the given L-codes (e.g. ``["L030"]``);
+    ``None`` runs every registered rule.  Baseline filtering is applied
+    separately via :func:`repro.lint.baseline.apply_baseline`.
+    """
+    report = LintReport()
+    files, missing = collect_files(paths)
+    for raw in missing:
+        report.add(
+            LintFinding.make("L000", "no such file or directory", file=raw, line=0)
+        )
+    for path in files:
+        findings, suppressed = lint_file(path, select=select)
+        report.files_checked += 1
+        report.suppressed += suppressed
+        for finding in findings:
+            report.add(finding)
+    return report

@@ -1,0 +1,93 @@
+"""L002 — cache identity: no signature-keyed ops in identity-sensitive
+regions.
+
+:class:`repro.cache.LangCache` keys ``determinize`` / ``minimize`` /
+``complement`` / ``intersect`` / the quotients / ``is_subset`` /
+``equivalent`` by canonical *language* signature: a hit may substitute a
+language-equal machine with completely different state/edge structure.
+That is sound wherever only the language is consumed — and unsound in
+GCI stage 1, where the start/final structure of leaf machines determines
+the stage-4 bridge images.  PR 2 shipped exactly this bug: routing
+stage-1 intersections through the cache made answers depend on cache
+history.
+
+The rule is marker-driven: a function containing a
+``# dprle-lint: identity-sensitive`` comment is an identity-sensitive
+region, and every call to a signature-keyed operation inside it is
+flagged.  The sanctioned alternative — the uncached, structure-faithful
+``ops.product`` — passes clean, as do the struct-keyed
+``eliminate_epsilon`` and plain machine methods (``trim`` etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from ..diagnostics import LintFinding
+from ..engine import FileContext
+from ..astutil import call_name, walk_scope
+from . import Rule, register_rule
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Call targets that resolve (directly or via the cache-instrumented
+#: wrappers) to signature-keyed operations.
+SIGNATURE_KEYED = frozenset({
+    "determinize",
+    "determinize_nfa",
+    "minimize",
+    "minimize_nfa",
+    "minimize_dfa",
+    "complement",
+    "complemented",
+    "intersect",
+    "left_quotient",
+    "right_quotient",
+    "is_subset",
+    "equivalent",
+})
+
+
+def _marked_functions(ctx: FileContext) -> Iterator[FunctionNode]:
+    if not ctx.identity_markers:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        end = getattr(node, "end_lineno", node.lineno)
+        if any(node.lineno <= mark <= end for mark in ctx.identity_markers):
+            yield node
+
+
+def _check(ctx: FileContext) -> Iterator[LintFinding]:
+    seen: set[int] = set()
+    for func in _marked_functions(ctx):
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            name = call_name(node)
+            if name in SIGNATURE_KEYED:
+                yield ctx.finding(
+                    "L002",
+                    node,
+                    f"signature-keyed operation {name!r} called inside the "
+                    f"identity-sensitive region {func.name!r}; a cache hit "
+                    "may substitute a language-equal machine with different "
+                    "bridge structure (the PR 2 history-dependent-answer bug)",
+                    hint="use the uncached, structure-faithful ops.product, "
+                    "or suppress with a one-line soundness argument",
+                )
+
+
+register_rule(
+    Rule(
+        name="cache-identity",
+        codes=("L002",),
+        description="no signature-keyed cache ops in identity-sensitive regions",
+        check=_check,
+    )
+)

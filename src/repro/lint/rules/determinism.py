@@ -1,0 +1,284 @@
+"""L030/L031 — determinism: no unordered iteration feeding ordered
+output, no unseeded randomness.
+
+Serial ≡ parallel equivalence, checkpoint/resume (ROADMAP item 4), and
+the exact-counter CI gates all assume a solve is a deterministic
+function of its input.  CPython set iteration order is a hash-table
+accident; it happens to look stable for small ints and then silently
+is not.  The rule flags unordered sources flowing into *ordered* sinks:
+
+* ``for x in <set>`` where the loop body appends/extends/inserts into a
+  sequence or ``yield``\\ s (i.e. the iteration order escapes);
+* ``list(<set>)`` / ``tuple(<set>)`` and list comprehensions /
+  generator expressions over a set outside an order-insensitive
+  reducer (``sum``/``any``/``all``/``min``/``max``/``len``/``set``/
+  ``frozenset``/``sorted``/``dict``);
+* ``next(iter(<set>))`` — "an arbitrary element" is nondeterminism by
+  construction;
+* ``os.listdir(...)`` not immediately wrapped in ``sorted(...)``.
+
+Set-ness is syntactic: set literals/comprehensions, ``set()`` /
+``frozenset()`` calls, set-typed parameters, the machine attributes
+``.starts`` / ``.finals``, set unions/intersections thereof, and local
+names assigned from any of these.  **L031** separately flags the
+module-global ``random.*`` functions and unseeded ``random.Random()`` —
+witness generation must be reproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from ..diagnostics import LintFinding
+from ..engine import FileContext
+from ..astutil import call_name, walk_scope
+from . import Rule, register_rule
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Machine attributes known to be sets (domain knowledge: Nfa/Dfa).
+SET_ATTRS = frozenset({"starts", "finals"})
+
+#: Order-insensitive consumers: a comprehension feeding these is fine.
+REDUCERS = frozenset({
+    "sum", "any", "all", "min", "max", "len", "set", "frozenset",
+    "sorted", "dict", "Counter",
+})
+
+#: Sequence mutators that make a loop body order-sensitive.
+_ORDERED_SINKS = frozenset({"append", "extend", "insert", "appendleft"})
+
+#: ``random`` module functions that use the shared global RNG.
+_GLOBAL_RANDOM = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss",
+})
+
+
+_SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """Top-level set annotations only: ``set[Node]`` yes,
+    ``Sequence[set[Node]]`` no (the *elements* are sets, not the value)."""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_TYPE_NAMES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        head = text.split("[", 1)[0].split(".")[-1].strip()
+        return head in _SET_TYPE_NAMES
+    return False
+
+
+class _SetNames:
+    """Per-function syntactic set-ness: which names hold sets."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.names: set[str] = set()
+        for arg in (
+            list(func.args.args)
+            + list(func.args.kwonlyargs)
+            + list(func.args.posonlyargs)
+        ):
+            if _annotation_is_set(arg.annotation):
+                self.names.add(arg.arg)
+        for node in walk_scope(func):
+            if isinstance(node, ast.Assign):
+                if self._is_set_expr(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_is_set(node.annotation) or (
+                    node.value is not None and self._is_set_expr(node.value)
+                ):
+                    self.names.add(node.target.id)
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if isinstance(node.func, ast.Name) and name in {"set", "frozenset"}:
+                return True
+            # set-method results on a set receiver: a | b style helpers
+            if (
+                isinstance(node.func, ast.Attribute)
+                and name
+                in {"union", "intersection", "difference", "symmetric_difference"}
+                and self._is_set_expr(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Attribute) and node.attr in SET_ATTRS:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def is_set(self, node: ast.expr) -> bool:
+        return self._is_set_expr(node)
+
+
+def _parents(tree: ast.Module) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _body_orders_output(loop: ast.For) -> bool:
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ORDERED_SINKS
+        ):
+            return True
+    return False
+
+
+def _in_reducer(node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+    parent = parents.get(id(node))
+    return (
+        isinstance(parent, ast.Call)
+        and parent.args
+        and parent.args[0] is node
+        and call_name(parent) in REDUCERS
+    )
+
+
+def _check_sets(
+    ctx: FileContext, func: FunctionNode, parents: dict[int, ast.AST]
+) -> Iterator[LintFinding]:
+    sets = _SetNames(func)
+    for node in walk_scope(func):
+        if isinstance(node, ast.For) and sets.is_set(node.iter):
+            if _body_orders_output(node):
+                yield ctx.finding(
+                    "L030",
+                    node,
+                    f"loop in {func.name!r} iterates a set and feeds an "
+                    "ordered sink (append/yield); iteration order is a "
+                    "hash accident",
+                    hint="iterate sorted(...) — or suppress with a one-line "
+                    "argument why order cannot escape",
+                )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            if any(sets.is_set(gen.iter) for gen in node.generators):
+                if not _in_reducer(node, parents):
+                    yield ctx.finding(
+                        "L030",
+                        node,
+                        f"comprehension in {func.name!r} builds an ordered "
+                        "sequence from set iteration order",
+                        hint="wrap the source in sorted(...), or feed an "
+                        "order-insensitive reducer",
+                    )
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if (
+                isinstance(node.func, ast.Name)
+                and name in {"list", "tuple"}
+                and node.args
+                and sets.is_set(node.args[0])
+            ):
+                yield ctx.finding(
+                    "L030",
+                    node,
+                    f"{name}(...) over a set in {func.name!r} pins a "
+                    "hash-accident order into a sequence",
+                    hint="use sorted(...) instead",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and name == "next"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+                and call_name(node.args[0]) == "iter"
+                and node.args[0].args
+                and sets.is_set(node.args[0].args[0])
+            ):
+                yield ctx.finding(
+                    "L030",
+                    node,
+                    f"next(iter(<set>)) in {func.name!r} picks an arbitrary "
+                    "element; the choice differs across runs and processes",
+                    hint="use min(...) / sorted(...)[0] for a canonical pick",
+                )
+
+
+def _check_module(ctx: FileContext) -> Iterator[LintFinding]:
+    parents = _parents(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name == "listdir":
+            parent = parents.get(id(node))
+            if not (
+                isinstance(parent, ast.Call) and call_name(parent) == "sorted"
+            ):
+                yield ctx.finding(
+                    "L030",
+                    node,
+                    "os.listdir() order is filesystem-dependent",
+                    hint="wrap in sorted(...)",
+                )
+        elif isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            if node.func.value.id == "random":
+                if name in _GLOBAL_RANDOM:
+                    yield ctx.finding(
+                        "L031",
+                        node,
+                        f"random.{name}() uses the shared, unseeded global "
+                        "RNG; witnesses and samples become unreproducible",
+                        hint="thread an explicit seeded random.Random(seed)",
+                    )
+                elif name == "Random" and not node.args and not node.keywords:
+                    yield ctx.finding(
+                        "L031",
+                        node,
+                        "random.Random() without a seed draws entropy from "
+                        "the OS; results differ across runs",
+                        hint="pass an explicit seed (random.Random(0))",
+                    )
+
+
+def _check(ctx: FileContext) -> Iterator[LintFinding]:
+    yield from _check_module(ctx)
+    parents = _parents(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _check_sets(ctx, node, parents)
+
+
+register_rule(
+    Rule(
+        name="determinism",
+        codes=("L030", "L031"),
+        description="no unordered iteration feeding ordered output; seeded RNG only",
+        check=_check,
+    )
+)

@@ -1,0 +1,138 @@
+"""L020/L021 — metric schema: every emitted series name is registered.
+
+Telemetry names are API: dashboards, the BENCH companions, and the PR 5
+CI counter gate (``dprle obs diff``) all match on them.  A typo'd name
+mints a silent new series — nothing fails, the dashboard just goes
+flat.  :mod:`repro.obs.schema` is the single registry; this rule checks
+every emission call site against it:
+
+* string-literal names must be registered for their instrument kind
+  (counter / gauge / histogram / span / operation / event / progress
+  stage) — else **L020** (error);
+* f-string names are reduced to patterns (``f"cache.hit.{op}"`` →
+  ``cache.hit.*``) and must be covered by a registered pattern — else
+  **L020**;
+* names that are neither (a variable, a mixed segment) are not
+  statically checkable — **L021** (warning), to be suppressed with a
+  rationale at the few registry-internal plumbing sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+from ...obs import schema
+from ..diagnostics import LintFinding
+from ..engine import FileContext
+from ..astutil import call_name, reduce_fstring
+from . import Rule, register_rule
+
+#: emission callee -> (instrument kind, exact-name predicate, patterns)
+KIND_TABLE: dict[str, tuple[str, Callable[[str], bool], tuple[str, ...]]] = {
+    "increment_metric": ("counter", schema.is_known_counter, schema.COUNTER_PATTERNS),
+    "counter": ("counter", schema.is_known_counter, schema.COUNTER_PATTERNS),
+    "set_gauge": ("gauge", schema.is_known_gauge, schema.GAUGE_PATTERNS),
+    "gauge": ("gauge", schema.is_known_gauge, schema.GAUGE_PATTERNS),
+    "observe_value": (
+        "histogram",
+        schema.is_known_histogram,
+        schema.HISTOGRAM_PATTERNS,
+    ),
+    "histogram": ("histogram", schema.is_known_histogram, schema.HISTOGRAM_PATTERNS),
+    "count_operation": ("operation", schema.is_known_operation, ()),
+    "span": ("span", schema.is_known_span, ()),
+    "traced": ("span", schema.is_known_span, ()),
+    "event": ("event", schema.is_known_event, ()),
+    "progress": ("progress stage", schema.is_known_progress_stage, ()),
+}
+
+
+def _pattern_covered(reduced: str, patterns: tuple[str, ...]) -> bool:
+    """A reduced f-string pattern is covered when some registered
+    pattern has the same arity and each dynamic segment lines up with a
+    registered wildcard."""
+    reduced_parts = reduced.split(".")
+    for pattern in patterns:
+        pattern_parts = pattern.split(".")
+        if len(pattern_parts) != len(reduced_parts):
+            continue
+        if all(
+            want == "*" if have == "*" else want in ("*", have)
+            for want, have in zip(pattern_parts, reduced_parts)
+        ):
+            return True
+    return False
+
+
+def _check(ctx: FileContext) -> Iterator[LintFinding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = call_name(node)
+        if callee not in KIND_TABLE:
+            continue
+        kind, known, patterns = KIND_TABLE[callee]
+        if not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+            if not known(name):
+                yield ctx.finding(
+                    "L020",
+                    node,
+                    f"{kind} name {name!r} is not registered in "
+                    "repro.obs.schema — a typo here mints a silent new series",
+                    hint="register the name in src/repro/obs/schema.py "
+                    "(or fix the typo)",
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            reduced = reduce_fstring(arg)
+            if reduced is None:
+                yield ctx.finding(
+                    "L021",
+                    node,
+                    f"{kind} name f-string mixes literal text and "
+                    "interpolation inside one segment; not statically "
+                    "checkable against repro.obs.schema",
+                    hint="make each dynamic part span a whole dot-segment, "
+                    "or suppress with a rationale",
+                )
+            elif "*" not in reduced:
+                if not known(reduced):
+                    yield ctx.finding(
+                        "L020",
+                        node,
+                        f"{kind} name {reduced!r} is not registered in "
+                        "repro.obs.schema",
+                        hint="register the name in src/repro/obs/schema.py",
+                    )
+            elif not _pattern_covered(reduced, patterns):
+                yield ctx.finding(
+                    "L020",
+                    node,
+                    f"dynamic {kind} name reduces to {reduced!r}, which no "
+                    "registered pattern in repro.obs.schema covers",
+                    hint="add the pattern to repro.obs.schema "
+                    f"({kind.upper().replace(' ', '_')}_PATTERNS)",
+                )
+        else:
+            yield ctx.finding(
+                "L021",
+                node,
+                f"{kind} name is not a literal; not statically checkable "
+                "against repro.obs.schema",
+                hint="pass a literal or f-string name, or suppress with a "
+                "rationale at registry plumbing sites",
+            )
+
+
+register_rule(
+    Rule(
+        name="metric-schema",
+        codes=("L020", "L021"),
+        description="every metric/span name is registered in repro.obs.schema",
+        check=_check,
+    )
+)

@@ -1,0 +1,64 @@
+"""L040 — timing discipline: spans are the telemetry boundary.
+
+Ad-hoc ``time.time()`` / ``time.perf_counter()`` deltas produce numbers
+nobody can find again: they bypass the span tree, the journal, the
+``--stats-json`` companions, and the CI counter gates.  Inside
+:mod:`repro.obs` raw clocks are the *implementation* of spans and are
+exempt; everywhere else in ``src/`` the rule flags them so timing goes
+through ``obs.span(...)`` / ``obs.traced(...)`` (or an explicit
+suppression for the few sites that feed the clock *into* obs, e.g. the
+parallel transport timestamps).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import LintFinding
+from ..engine import FileContext
+from ..astutil import dotted_name
+from . import Rule, register_rule
+
+_CLOCKS = frozenset({
+    "time.time",
+    "time.perf_counter",
+    "time.monotonic",
+    "time.process_time",
+    "time.perf_counter_ns",
+    "time.monotonic_ns",
+    "time.time_ns",
+})
+
+
+def _is_obs_module(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "/repro/obs/" in normalized or normalized.endswith("repro/obs")
+
+
+def _check(ctx: FileContext) -> Iterator[LintFinding]:
+    if _is_obs_module(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name in _CLOCKS:
+            yield ctx.finding(
+                "L040",
+                node,
+                f"raw {name}() outside repro.obs; ad-hoc timing bypasses "
+                "spans, the journal, and the CI counter gates",
+                hint="wrap the region in obs.span(...)/obs.traced(...), or "
+                "suppress with a rationale if the value feeds obs itself",
+            )
+
+
+register_rule(
+    Rule(
+        name="timing-discipline",
+        codes=("L040",),
+        description="no raw clock calls outside the repro.obs boundary",
+        check=_check,
+    )
+)

@@ -200,6 +200,7 @@ class Journal:
     # -- non-span hooks ------------------------------------------------
 
     def set_gauge(self, name: str, value: float) -> None:
+        # dprle-lint: disable=L021 -- registry plumbing: name was schema-checked at the emission call site
         self.metrics.gauge(name).set(value)
 
     def record_event(self, name: str, fields: dict[str, Any]) -> None:

@@ -311,6 +311,7 @@ def _run_chunk(
     """
     global _IN_WORKER, _worker_cache
     _IN_WORKER = True
+    # dprle-lint: disable=L040 -- transport timestamp; feeds the parallel.chunk_seconds obs histogram
     chunk_started = time.perf_counter()
     # Forked ambient state from the parent: drop it (see module doc),
     # then install the parent's backend by name from the payload.
@@ -348,6 +349,7 @@ def _run_chunk(
         if state.collect:
             with obs.collect(max_recorded_spans=64) as collector:
                 run()
+            # dprle-lint: disable=L040 -- worker-side busy time folded into obs via absorb()
             busy = time.perf_counter() - chunk_started
             collector.metrics.histogram("parallel.chunk_seconds").observe(busy)
             collector.metrics.histogram(
@@ -418,6 +420,7 @@ class _ChunkSchedule:
             start, stop = self.ranges[chunk]
             self._tasks[chunk] = (
                 self._pool.submit(_run_chunk, self._payload, start, stop),
+                # dprle-lint: disable=L040 -- queue-entry timestamp; feeds parallel.queue_wait_seconds
                 time.perf_counter(),
             )
             self._submitted += 1
@@ -524,6 +527,7 @@ def _drain(
     tags = {tag.label: tag for tag in prepared.tag_order}
     alphabet = next(iter(prepared.machines.values())).alphabet
     ranges = schedule.ranges
+    # dprle-lint: disable=L040 -- drain wall-clock; feeds the parallel.utilization obs gauge
     drain_started = time.perf_counter()
     busy_by_pid: dict[int, float] = {}
     chunk_seconds: list[float] = []
@@ -588,6 +592,7 @@ def _drain(
                 obs.set_gauge(
                     "parallel.chunk_skew", max(chunk_seconds) / mean
                 )
+            # dprle-lint: disable=L040 -- drain wall-clock; feeds the parallel.utilization obs gauge
             elapsed = time.perf_counter() - drain_started
             if busy_by_pid and elapsed > 0:
                 utilization = sum(busy_by_pid.values()) / (

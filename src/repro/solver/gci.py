@@ -651,6 +651,10 @@ def _prepare_group(
         return ops.eliminate_epsilon(graph.machine(node))
 
     # -- Stage 1: leaf machines, subset constraints first (invariant 1).
+    # dprle-lint: identity-sensitive
+    # Stage 1/2 machines carry the start/final structure the stage-4
+    # bridge images are read from; signature-keyed cache substitution
+    # here is the PR 2 bug (L002 enforces this — docs/LINTING.md).
     machines: dict[Node, Nfa] = {}
     for leaf in sorted(leaves, key=lambda n: n.name):
         if leaf.is_var:
@@ -668,6 +672,7 @@ def _prepare_group(
             base, _ = ops.product(base, const_machine(const_node))
             base = base.trim()
         if limits.minimize_leaves:
+            # dprle-lint: disable=L002 -- deliberate opt-in: collapsing leaf structure BEFORE any bridge tag exists is sound; the flag defaults off
             base = minimize_nfa(base)
         machines[leaf] = base
 
@@ -972,6 +977,7 @@ def _share_intersection(
     else:
         intersection = ops.intersect(a, b).trim()
         result = None if intersection.is_empty() else intersection
+    # dprle-lint: disable=L001 -- pair_memo is a documented out-param accumulator, not machine state
     pair_memo[pair_key] = result
     return result
 
@@ -1005,6 +1011,7 @@ def _occurrence_slice(
         piece.set_final(final_edge[0])
     piece = piece.trim()
     result = None if piece.is_empty() else piece
+    # dprle-lint: disable=L001 -- memo is a documented out-param accumulator, not machine state
     memo[key] = result
     return result
 

@@ -59,7 +59,12 @@ from ..check.cost import YieldModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..automata.nfa import BridgeTag
-    from .gci import GciLimits, _PreparedGroup
+    from ..constraints.depgraph import Node
+    from .gci import GciLimits, _Occurrence, _PreparedGroup
+
+#: A bridge edge is a ``(src, dst)`` state pair; ``None`` boundaries
+#: keep the top machine's own starts/finals.
+Edge = Optional[tuple[int, int]]
 
 __all__ = ["PLAN_MODES", "EnumerationPlan", "build_plan"]
 
@@ -86,7 +91,7 @@ class EnumerationPlan:
     pruned_plan: int
     survivors: int
     mask: Optional[int]
-    class_sizes: dict = field(default_factory=dict)
+    class_sizes: dict[BridgeTag, list[int]] = field(default_factory=dict)
     yield_model: Optional[YieldModel] = None
 
     def iter_survivors(self, start: int, stop: int) -> Iterator[int]:
@@ -127,7 +132,7 @@ def build_plan(
         )
     base_space = prepared.factored_combinations
     with obs.span("gci_plan", mode=mode, base_space=base_space) as sp:
-        class_sizes: dict = {}
+        class_sizes: dict[BridgeTag, list[int]] = {}
         if mode in ("equiv", "full"):
             class_sizes = _collapse_classes(prepared, limits)
         space = 1
@@ -166,13 +171,17 @@ def build_plan(
 # -- equivalence-class mining ------------------------------------------------
 
 
-def _occ_tags(occ) -> tuple:
+def _occ_tags(
+    occ: "_Occurrence",
+) -> tuple[Optional["BridgeTag"], Optional["BridgeTag"]]:
     start_tag = occ.start_of[1] if occ.start_of[0] != "machine" else None
     final_tag = occ.final_of[1] if occ.final_of[0] != "machine" else None
     return start_tag, final_tag
 
 
-def _collapse_classes(prepared: "_PreparedGroup", limits: "GciLimits") -> dict:
+def _collapse_classes(
+    prepared: "_PreparedGroup", limits: "GciLimits"
+) -> dict["BridgeTag", list[int]]:
     """Collapse each tag's edge list to one representative per
     signature-equivalence class; returns ``{tag: [class sizes]}``.
 
@@ -187,7 +196,9 @@ def _collapse_classes(prepared: "_PreparedGroup", limits: "GciLimits") -> dict:
     if cache is None or not limits.dedupe:
         return {}
 
-    def slice_profile(occ, occ_index, start_edge, final_edge):
+    def slice_profile(
+        occ: "_Occurrence", occ_index: int, start_edge: Edge, final_edge: Edge
+    ) -> object:
         piece = _occurrence_slice(
             prepared.machines,
             occ,
@@ -207,7 +218,7 @@ def _collapse_classes(prepared: "_PreparedGroup", limits: "GciLimits") -> dict:
         # the same.
         return True
 
-    class_sizes: dict = {}
+    class_sizes: dict["BridgeTag", list[int]] = {}
     # Tags are collapsed in tag_order; a later tag's profiles range
     # over the *already collapsed* earlier lists, which is sound: only
     # representative completions are ever enumerated.
@@ -216,9 +227,9 @@ def _collapse_classes(prepared: "_PreparedGroup", limits: "GciLimits") -> dict:
         if len(edges) <= 1:
             class_sizes[tag] = [1] * len(edges)
             continue
-        profiles = []
+        profiles: list[tuple[object, ...]] = []
         for edge in edges:
-            profile = []
+            profile: list[object] = []
             for occ_index, occ in enumerate(prepared.occurrences):
                 start_tag, final_tag = _occ_tags(occ)
                 if start_tag is not tag and final_tag is not tag:
@@ -252,8 +263,8 @@ def _collapse_classes(prepared: "_PreparedGroup", limits: "GciLimits") -> dict:
                         )
                     )
             profiles.append(tuple(profile))
-        representatives: dict = {}
-        kept: list = []
+        representatives: dict[tuple[object, ...], int] = {}
+        kept: list[tuple[int, int]] = []
         sizes: list[int] = []
         for edge, profile in zip(edges, profiles):
             slot = representatives.get(profile)
@@ -307,7 +318,7 @@ def _viability_mask(prepared: "_PreparedGroup") -> int:
         if start_tag is None and final_tag is None:
             continue
 
-        def viable(start_edge, final_edge) -> bool:
+        def viable(start_edge: Edge, final_edge: Edge) -> bool:
             return (
                 _occurrence_slice(
                     prepared.machines,
@@ -349,7 +360,7 @@ def _viability_mask(prepared: "_PreparedGroup") -> int:
     # Pairwise share viability for singly-tagged occurrences of shared
     # variables — the same pairs the factoring's share test walks, so
     # ``pair_memo`` is warm for most of them.
-    singly: dict = {}
+    singly: dict["Node", list[tuple[int, "BridgeTag", str]]] = {}
     for occ_index, occ in enumerate(prepared.occurrences):
         if not occ.node.is_var:
             continue
@@ -365,7 +376,7 @@ def _viability_mask(prepared: "_PreparedGroup") -> int:
                 (occ_index, final_tag, "final")
             )
 
-    def key_of(i, side, edge):
+    def key_of(i: int, side: str, edge: tuple[int, int]) -> tuple[object, ...]:
         return (i, edge, None) if side == "start" else (i, None, edge)
 
     for node, occs in singly.items():

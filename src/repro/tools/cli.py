@@ -224,6 +224,39 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     _add_observability_flags(check_cmd)
 
+    lint_cmd = commands.add_parser(
+        "lint", help="statically analyze the repo's own source for "
+        "domain-invariant violations (docs/LINTING.md)"
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="+", type=pathlib.Path,
+        help="files or directories to lint",
+    )
+    lint_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable dprle.lint/1 report",
+    )
+    lint_cmd.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated L-codes to run (e.g. L030,L031); "
+        "default: all registered rules",
+    )
+    lint_cmd.add_argument(
+        "--baseline", type=pathlib.Path, default=None, metavar="FILE",
+        help="suppress findings listed in this committed baseline; "
+        "entries matching nothing are reported as stale",
+    )
+    lint_cmd.add_argument(
+        "--write-baseline", type=pathlib.Path, default=None, metavar="FILE",
+        help="write every current finding to FILE as the new baseline",
+    )
+    lint_cmd.add_argument(
+        "--fail-on", choices=["warning", "error"], default=None,
+        metavar="SEVERITY",
+        help="exit 1 when any finding reaches SEVERITY, or when the "
+        "baseline has stale entries",
+    )
+
     analyze_cmd = commands.add_parser("analyze", help="analyze a PHP file")
     analyze_cmd.add_argument("file", type=pathlib.Path)
     analyze_cmd.add_argument(
@@ -307,6 +340,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_solve(args)
     if args.command == "check":
         return _run_check(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "analyze":
         return _run_analyze(args)
     if args.command == "graph":
@@ -360,6 +395,62 @@ def _check_and_print(args: argparse.Namespace, text: str) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """The ``dprle lint`` subcommand.
+
+    Exit codes follow ``dprle check``: 2 for IO/parse failures (missing
+    paths, unparseable baseline, L000 findings), 1 when ``--fail-on`` is
+    reached or the baseline has stale entries, 0 otherwise.
+    """
+    import json as json_mod
+
+    from ..lint import (
+        Severity as LintSeverity,
+        apply_baseline,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    report = run_lint([str(p) for p in args.paths], select=select)
+    has_io_errors = any(f.code == "L000" for f in report.findings)
+
+    if args.write_baseline is not None:
+        written = write_baseline(report, args.write_baseline)
+        print(
+            f"wrote {written} baseline entries to {args.write_baseline}",
+            file=sys.stderr,
+        )
+
+    if args.baseline is not None:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, json_mod.JSONDecodeError) as error:
+            print(
+                f"dprle: cannot load baseline {args.baseline}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        report = apply_baseline(report, entries)
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+
+    if has_io_errors:
+        return 2
+    if args.fail_on is not None:
+        if report.at_least(LintSeverity.parse(args.fail_on)):
+            return 1
+        if report.stale_baseline:
+            return 1
+    return 0
+
+
 def _run_graph(args: argparse.Namespace) -> int:
     try:
         text = args.file.read_text()
@@ -403,12 +494,14 @@ def _run_solve(args: argparse.Namespace) -> int:
 
 
 def _solve_and_print(args: argparse.Namespace, problem) -> int:
+    # dprle-lint: disable=L040 -- user-facing elapsed printed with the answer; span timing is the telemetry copy
     started = time.perf_counter()
     solutions = solve(
         problem,
         max_solutions=args.max_solutions,
         limits=_cli_limits(args),
     )
+    # dprle-lint: disable=L040 -- user-facing elapsed printed with the answer; span timing is the telemetry copy
     elapsed = time.perf_counter() - started
 
     if not solutions.satisfiable:

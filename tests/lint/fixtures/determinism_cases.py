@@ -1,0 +1,68 @@
+"""Determinism cases for L030/L031 (lint fixture, walk-excluded)."""
+
+import os
+import random
+
+
+def set_loop_feeding_list(states: set):
+    out = []
+    for state in states:  # flagged: order escapes via append
+        out.append(state)
+    return out
+
+
+def set_loop_building_set(states: set):
+    closure = set()
+    for state in states:  # clean: result is unordered
+        closure.add(state)
+    return closure
+
+
+def sorted_loop(states: set):
+    out = []
+    for state in sorted(states):  # clean: explicit order
+        out.append(state)
+    return out
+
+
+def comprehension_to_list(starts: frozenset):
+    return [s for s in starts]  # flagged: ordered sequence from a set
+
+
+def comprehension_to_reducer(starts: frozenset):
+    return sum(s for s in starts)  # clean: order-insensitive reducer
+
+
+def machine_attr_iteration(nfa):
+    ordered = []
+    for state in nfa.starts:  # flagged: .starts is a set by contract
+        ordered.append(state)
+    return ordered
+
+
+def list_of_set(states: set):
+    return list(states)  # flagged
+
+
+def arbitrary_pick(states: set):
+    return next(iter(states))  # flagged
+
+
+def listdir_unsorted(path):
+    return [name for name in os.listdir(path)]  # flagged (listdir)
+
+
+def listdir_sorted(path):
+    return sorted(os.listdir(path))  # clean
+
+
+def global_random_walk():
+    return random.random()  # flagged: shared global RNG
+
+
+def unseeded_rng():
+    return random.Random()  # flagged: OS-entropy seed
+
+
+def seeded_rng():
+    return random.Random(0)  # clean

@@ -1,0 +1,41 @@
+"""Fork-safety true positives for L010 (lint fixture, walk-excluded).
+
+Every flagged shape here fails in production exactly once — the first
+time the pool runs under the spawn start method, or the first time a
+payload drags a live cache across the boundary.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_chunk(payload, start, stop):
+    return payload, start, stop
+
+
+def submits_lambda(pool: ProcessPoolExecutor, payload):
+    return pool.submit(lambda: payload + 1)
+
+
+def submits_bound_method(pool: ProcessPoolExecutor, solver):
+    return pool.submit(solver.solve_chunk, 0, 10)
+
+
+def submits_closure(pool: ProcessPoolExecutor, payload):
+    def chunk():
+        return payload + 1
+
+    return pool.submit(chunk)
+
+
+def submits_module_level(pool: ProcessPoolExecutor, payload):
+    # The sanctioned _run_chunk shape: module-level, plain-data args.
+    return pool.submit(run_chunk, payload, 0, 10)
+
+
+def maps_lambda(executor: ProcessPoolExecutor, items):
+    return executor.map(lambda item: item * 2, items)
+
+
+def non_executor_receiver(widget, items):
+    # .map on something that is not a pool is out of scope.
+    return widget.map(lambda item: item * 2, items)

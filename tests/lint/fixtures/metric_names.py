@@ -1,0 +1,40 @@
+"""Metric-schema cases for L020/L021 (lint fixture, walk-excluded)."""
+
+from repro import obs
+
+
+def emits_registered():
+    obs.increment_metric("states_visited")
+    obs.increment_metric("gci.combinations_total", 5)
+    obs.set_gauge("cache.entries", 10.0)
+    obs.observe_value("automaton_states", 12.0)
+
+
+def emits_typo():
+    # "gci.combination_total" (missing s) — the silent-new-series bug.
+    obs.increment_metric("gci.combination_total", 5)
+
+
+def emits_unknown_gauge():
+    obs.set_gauge("cache.entires", 10.0)
+
+
+def emits_covered_fstring(op):
+    obs.increment_metric(f"cache.hit.{op}")
+
+
+def emits_uncovered_fstring(shard):
+    obs.increment_metric(f"shard.{shard}.drops")
+
+
+def emits_mixed_segment(pid):
+    obs.increment_metric(f"parallel.worker_{pid}.busy_ms")
+
+
+def emits_variable(name):
+    obs.increment_metric(name)
+
+
+def emits_unknown_span():
+    with obs.span("solve_chunk"):
+        pass

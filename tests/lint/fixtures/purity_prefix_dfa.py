@@ -1,0 +1,50 @@
+"""Pre-fix reconstructions of the PR 6 kernel-purity bug for L001.
+
+``complemented`` is the literal pre-fix body (seed commit): the result
+shares its per-state move lists with the original, so mutating either
+machine corrupts the other.  The other functions are the neighboring
+variants of the same aliasing/mutation class.  This file is a lint
+*fixture*: the engine's directory walk skips ``fixtures`` directories,
+so these true positives never reach the CI lint legs — the rule tests
+lint this file explicitly.
+"""
+
+
+class Dfa:
+    def __init__(self, alphabet, transitions, start, finals):
+        self.alphabet = alphabet
+        self.transitions = transitions
+        self.start = start
+        self.finals = finals
+
+    def complemented(self) -> "Dfa":
+        """Same machine with final and non-final states swapped."""
+        finals = set(self.transitions) - self.finals
+        return Dfa(self.alphabet, dict(self.transitions), self.start, finals)
+
+    def comprehension_copy(self) -> "Dfa":
+        # One level deeper than dict(...) but still aliases the moves.
+        transitions = {
+            state: moves for state, moves in self.transitions.items()
+        }
+        return Dfa(self.alphabet, transitions, self.start, set(self.finals))
+
+    def shared_finals(self) -> "Dfa":
+        # The finals set itself is passed through un-copied.
+        copied = {s: list(m) for s, m in self.transitions.items()}
+        return Dfa(self.alphabet, copied, self.start, self.finals)
+
+    def mutating_restrict(self, keep: set) -> "Dfa":
+        # Builds the result by destroying the input.
+        for state in list(self.transitions):
+            if state not in keep:
+                self.transitions.pop(state)
+        self.finals = self.finals & keep
+        return self
+
+    def clean_copy(self) -> "Dfa":
+        # The post-fix shape: per-entry list copies, fresh finals set.
+        transitions = {
+            state: list(moves) for state, moves in self.transitions.items()
+        }
+        return Dfa(self.alphabet, transitions, self.start, set(self.finals))

@@ -1,0 +1,29 @@
+"""Timing-discipline cases for L040 (lint fixture, walk-excluded)."""
+
+import time
+
+from repro import obs
+
+
+def ad_hoc_timing(work):
+    started = time.perf_counter()  # flagged
+    work()
+    return time.perf_counter() - started  # flagged
+
+
+def wall_clock(work):
+    started = time.time()  # flagged
+    work()
+    return time.time() - started  # flagged
+
+
+def span_timing(work):
+    with obs.span("solve"):  # clean: spans are the telemetry boundary
+        work()
+
+
+def suppressed_transport_stamp(work):
+    # dprle-lint: disable=L040 -- feeds the obs histogram below
+    started = time.perf_counter()
+    work()
+    return started

@@ -1,0 +1,186 @@
+"""`dprle lint` CLI: JSON round-trip, baseline lifecycle, exit codes.
+
+Exit-code contract matches `dprle check`: 2 = IO/parse failure,
+1 = --fail-on threshold reached (or stale baseline entries), 0 = clean.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import SCHEMA, BASELINE_SCHEMA, LintReport
+from repro.tools.cli import main
+
+DIRTY = (
+    "import random\n"
+    "def run(pool, chunks):\n"
+    "    pool.submit(lambda: chunks)\n"  # L010 (error)
+    "    return random.random()\n"  # L031 (warning)
+)
+
+CLEAN = "x = 1\n"
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, clean_file, capsys):
+        assert main(["lint", str(clean_file)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_findings_without_fail_on_still_zero(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 0
+        out = capsys.readouterr().out
+        assert "error[L010]" in out
+        assert "warning[L031]" in out
+
+    def test_fail_on_error(self, dirty_file):
+        assert main(["lint", str(dirty_file), "--fail-on", "error"]) == 1
+
+    def test_fail_on_warning_catches_warnings(self, tmp_path):
+        path = tmp_path / "w.py"
+        path.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(path), "--fail-on", "error"]) == 0
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+
+    def test_missing_path_is_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent.py")]) == 2
+        assert "L000" in capsys.readouterr().out
+
+    def test_syntax_error_is_two(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        assert main(["lint", str(path)]) == 2
+
+    def test_unreadable_baseline_is_two(self, dirty_file, tmp_path, capsys):
+        bad = tmp_path / "base.json"
+        bad.write_text("{not json")
+        code = main(["lint", str(dirty_file), "--baseline", str(bad)])
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_wrong_baseline_schema_is_two(self, dirty_file, tmp_path):
+        bad = tmp_path / "base.json"
+        bad.write_text(json.dumps({"schema": "dprle.check/1", "entries": []}))
+        assert main(["lint", str(dirty_file), "--baseline", str(bad)]) == 2
+
+
+class TestJson:
+    def test_round_trip(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == SCHEMA
+        report = LintReport.from_dict(data)
+        assert {f.code for f in report.findings} == {"L010", "L031"}
+        assert report.files_checked == 1
+        assert data["summary"]["errors"] == 1
+        assert data["summary"]["warnings"] == 1
+
+    def test_select_filters(self, dirty_file, capsys):
+        assert main(
+            ["lint", str(dirty_file), "--json", "--select", "L031"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in data["findings"]] == ["L031"]
+
+
+class TestBaselineLifecycle:
+    def test_write_then_apply_silences(self, dirty_file, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(
+            ["lint", str(dirty_file), "--write-baseline", str(base)]
+        ) == 0
+        payload = json.loads(base.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert len(payload["entries"]) == 2
+        capsys.readouterr()
+
+        code = main([
+            "lint", str(dirty_file),
+            "--baseline", str(base), "--fail-on", "warning",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "error[L010]" not in out
+        assert "2 baselined" in out
+
+    def test_new_finding_breaks_through_baseline(
+        self, dirty_file, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        main(["lint", str(dirty_file), "--write-baseline", str(base)])
+        capsys.readouterr()
+        dirty_file.write_text(DIRTY + "    pool.map(lambda c: c, chunks)\n")
+        code = main([
+            "lint", str(dirty_file),
+            "--baseline", str(base), "--fail-on", "error",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert ".map()" in out
+
+    def test_fixed_finding_reported_stale(self, dirty_file, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        main(["lint", str(dirty_file), "--write-baseline", str(base)])
+        capsys.readouterr()
+        # Fix the L010 finding: the baseline entry for it goes stale.
+        dirty_file.write_text(
+            "import random\n"
+            "def run(pool, chunks):\n"
+            "    return random.random()\n"
+        )
+        code = main([
+            "lint", str(dirty_file),
+            "--baseline", str(base), "--fail-on", "error",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # stale entries gate even with no live findings
+        assert "stale" in out
+
+    def test_stale_without_fail_on_is_informational(
+        self, dirty_file, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        main(["lint", str(dirty_file), "--write-baseline", str(base)])
+        capsys.readouterr()
+        dirty_file.write_text(CLEAN)
+        assert main(["lint", str(dirty_file), "--baseline", str(base)]) == 0
+
+    def test_moved_line_same_code_still_baselined(
+        self, dirty_file, tmp_path, capsys
+    ):
+        # Fingerprints hash file|code|stripped-source-line, not line
+        # numbers: inserting a comment above must not break the match.
+        base = tmp_path / "base.json"
+        main(["lint", str(dirty_file), "--write-baseline", str(base)])
+        capsys.readouterr()
+        dirty_file.write_text("# moved down by this comment\n" + DIRTY)
+        code = main([
+            "lint", str(dirty_file),
+            "--baseline", str(base), "--fail-on", "warning",
+        ])
+        assert code == 0
+
+
+class TestAgainstRepoTree:
+    def test_src_lints_clean_like_ci(self, capsys):
+        """The CI gate: `dprle lint src/ --fail-on error` passes."""
+        assert main(["lint", "src/repro/", "--fail-on", "error"]) == 0
+
+    def test_tests_leg_selects_determinism(self, capsys):
+        assert main([
+            "lint", "tests/", "--select", "L030,L031",
+            "--fail-on", "warning",
+        ]) == 0

@@ -1,0 +1,158 @@
+"""Engine behavior: suppression grammar, discovery walk, reports."""
+
+import json
+
+from repro.lint import (
+    SCHEMA,
+    LintReport,
+    Severity,
+    collect_files,
+    lint_file,
+    run_lint,
+)
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestSuppressions:
+    def test_same_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "a.py",
+            "import random\n"
+            "x = random.random()  # dprle-lint: disable=L031 -- fixture\n",
+        )
+        findings, suppressed = lint_file(path)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_line_above(self, tmp_path):
+        path = write(
+            tmp_path,
+            "a.py",
+            "import random\n"
+            "# dprle-lint: disable=L031 -- seeded upstream\n"
+            "x = random.random()\n",
+        )
+        findings, suppressed = lint_file(path)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        path = write(
+            tmp_path,
+            "a.py",
+            "import random\n"
+            "x = random.random()  # dprle-lint: disable=L030\n",
+        )
+        findings, suppressed = lint_file(path)
+        assert [f.code for f in findings] == ["L031"]
+        assert suppressed == 0
+
+    def test_multiple_codes(self, tmp_path):
+        path = write(
+            tmp_path,
+            "a.py",
+            "import random, time\n"
+            "# dprle-lint: disable=L031, L040\n"
+            "x = random.random() + time.time()\n",
+        )
+        findings, suppressed = lint_file(path)
+        assert findings == []
+        assert suppressed == 2
+
+    def test_disable_file(self, tmp_path):
+        path = write(
+            tmp_path,
+            "a.py",
+            "# dprle-lint: disable-file=L031 -- randomized fixture generator\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.random()\n",
+        )
+        findings, suppressed = lint_file(path)
+        assert findings == []
+        assert suppressed == 2
+
+    def test_does_not_leak_past_next_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "a.py",
+            "import random\n"
+            "# dprle-lint: disable=L031\n"
+            "x = 1\n"
+            "y = random.random()\n",
+        )
+        findings, _ = lint_file(path)
+        assert [f.code for f in findings] == ["L031"]
+
+
+class TestDiscovery:
+    def test_fixture_dirs_skipped_in_walk(self, tmp_path):
+        write(tmp_path, "pkg/good.py", "x = 1\n")
+        write(tmp_path, "pkg/fixtures/bad.py", "import random\nrandom.random()\n")
+        files, missing = collect_files([str(tmp_path / "pkg")])
+        assert missing == []
+        assert [f.name for f in files] == ["good.py"]
+
+    def test_explicit_fixture_file_always_linted(self, tmp_path):
+        bad = write(
+            tmp_path, "fixtures/bad.py", "import random\nrandom.random()\n"
+        )
+        findings, _ = lint_file(bad)
+        assert [f.code for f in findings] == ["L031"]
+
+    def test_hidden_and_pycache_skipped(self, tmp_path):
+        write(tmp_path, "pkg/ok.py", "x = 1\n")
+        write(tmp_path, "pkg/__pycache__/junk.py", "x = 1\n")
+        write(tmp_path, "pkg/.venv/lib.py", "x = 1\n")
+        files, _ = collect_files([str(tmp_path / "pkg")])
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_missing_path_reported(self, tmp_path):
+        report = run_lint([str(tmp_path / "nope.py")])
+        assert [f.code for f in report.findings] == ["L000"]
+
+
+class TestParseErrors:
+    def test_syntax_error_is_L000(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def broken(:\n")
+        findings, _ = lint_file(path)
+        assert [f.code for f in findings] == ["L000"]
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestReport:
+    def test_json_round_trip(self, tmp_path):
+        write(tmp_path, "a.py", "import random\nx = random.random()\n")
+        report = run_lint([str(tmp_path)])
+        data = json.loads(report.to_json())
+        assert data["schema"] == SCHEMA
+        rebuilt = LintReport.from_dict(data)
+        assert rebuilt.files_checked == report.files_checked
+        assert [f.to_dict() for f in rebuilt.sorted_findings()] == [
+            f.to_dict() for f in report.sorted_findings()
+        ]
+
+    def test_render_has_summary_line(self, tmp_path):
+        write(tmp_path, "a.py", "import random\nx = random.random()\n")
+        report = run_lint([str(tmp_path)])
+        rendered = report.render()
+        assert "1 file(s)" in rendered
+        assert "1 warning(s)" in rendered
+
+    def test_select_restricts_codes(self, tmp_path):
+        write(
+            tmp_path,
+            "a.py",
+            "import random, time\n"
+            "x = random.random()\n"
+            "t = time.perf_counter()\n",
+        )
+        report = run_lint([str(tmp_path)], select=["L040"])
+        assert [f.code for f in report.findings] == ["L040"]

@@ -16,7 +16,7 @@ def model(cs: CharSet) -> set[int]:
 
 
 def build(values: set[int]) -> CharSet:
-    return CharSet([(v, v) for v in values])
+    return CharSet([(v, v) for v in sorted(values)])
 
 
 @given(points)
