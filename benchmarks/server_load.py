@@ -1,0 +1,246 @@
+"""Load test for ``dprle serve``: throughput, latency, warm-vs-cold.
+
+Spawns a real server subprocess against a fresh ``--cache-db``, drives
+it with concurrent ``http.client`` threads over a corpus of
+wide.dprle-style constraint systems (one shared base system plus
+seeded regex variations, so the signature store sees both repeats and
+novel machines), and records throughput and latency percentiles.  The
+server is then SIGTERM-killed and restarted on the *same* database,
+and the identical workload replayed: the warm run's speedup is the
+store paying for itself across a process boundary.  Results land in
+``benchmarks/out/server_load.json`` and aggregate into
+``BENCH_solver.json`` (see docs/SERVER.md).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.server_load
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from ._util import write_json, write_table
+
+SRC = str(pathlib.Path(__file__).parent.parent / "src")
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 8
+
+#: Seeded variations on the wide.dprle shape: same three-variable
+#: bridge structure, different right-hand-side lengths, so each
+#: distinct source exercises fresh machines while repeats of the same
+#: source are pure cache traffic.
+_TEMPLATE = """
+var va, vb, vc;
+va <= /(a|b)*/;
+vb <= /(a|b)*/;
+vc <= /(a|b)*/;
+va . vb <= /(a|b){{{n}}}/;
+vb . vc <= /(a|b){{{m}}}/;
+"""
+
+_LISTENING = re.compile(r"dprle serve: listening on 127\.0\.0\.1:(\d+)")
+
+
+def corpus() -> list[str]:
+    sources = []
+    for n, m in [(7, 7), (6, 7), (7, 6), (5, 6), (6, 5), (5, 5), (4, 6), (6, 4)]:
+        sources.append(_TEMPLATE.format(n=n, m=m))
+    return sources
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _spawn(cache_db: str) -> tuple[subprocess.Popen, int]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.cli", "serve",
+         "--port", "0", "--cache-db", cache_db],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(f"server exited early: {process.wait()}")
+        match = _LISTENING.search(line)
+        if match:
+            return process, int(match.group(1))
+    raise RuntimeError("server never printed its listening line")
+
+
+def _stop(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    out, _ = process.communicate(timeout=60)
+    if process.returncode != 0:
+        raise RuntimeError(f"unclean server exit {process.returncode}: {out}")
+
+
+def _solve(port: int, source: str) -> float:
+    """One solve round-trip; returns client-observed latency seconds."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    started = time.perf_counter()
+    try:
+        conn.request(
+            "POST", "/solve",
+            body=json.dumps({"source": source, "max_solutions": 1}),
+        )
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+    finally:
+        conn.close()
+    elapsed = time.perf_counter() - started
+    if response.status != 200:
+        raise RuntimeError(f"solve failed: {doc}")
+    return elapsed
+
+
+def _stats(port: int) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/stats")
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_workload(port: int) -> dict:
+    """CLIENTS threads, each walking the corpus round-robin."""
+    sources = corpus()
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def client(offset: int) -> None:
+        try:
+            for step in range(REQUESTS_PER_CLIENT):
+                source = sources[(offset + step) % len(sources)]
+                elapsed = _solve(port, source)
+                with lock:
+                    latencies.append(elapsed)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            with lock:
+                errors.append(error)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    latencies.sort()
+    return {
+        "requests": len(latencies),
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(len(latencies) / wall, 2),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 2),
+        "p90_ms": round(_percentile(latencies, 0.90) * 1000, 2),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 2),
+    }
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="dprle-load-") as tmp:
+        cache_db = str(pathlib.Path(tmp) / "sig.db")
+
+        # Cold run: empty store, every signature computed from scratch.
+        process, port = _spawn(cache_db)
+        try:
+            cold = run_workload(port)
+            cold_stats = _stats(port)
+        finally:
+            _stop(process)
+
+        # Warm run: a fresh process, same database — everything the
+        # cold run learned comes back off disk.
+        process, port = _spawn(cache_db)
+        try:
+            warm = run_workload(port)
+            warm_stats = _stats(port)
+        finally:
+            _stop(process)
+
+    cold_store = cold_stats["cache"]["store"]
+    warm_store = warm_stats["cache"]["store"]
+    speedup = cold["wall_s"] / warm["wall_s"] if warm["wall_s"] else 0.0
+    data = {
+        "config": {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "corpus_size": len(corpus()),
+        },
+        "cold": {**cold, "store": cold_store},
+        "warm": {**warm, "store": warm_store},
+        "warm_vs_cold": {
+            "speedup": round(speedup, 3),
+            "p50_delta_ms": round(cold["p50_ms"] - warm["p50_ms"], 2),
+            "p90_delta_ms": round(cold["p90_ms"] - warm["p90_ms"], 2),
+        },
+    }
+
+    write_table(
+        "server_load",
+        "dprle serve load test (restart-warm vs cold store)",
+        [
+            f"clients={CLIENTS} requests/client={REQUESTS_PER_CLIENT} "
+            f"corpus={len(corpus())} sources",
+            "",
+            f"{'run':<6} {'rps':>8} {'p50 ms':>9} {'p90 ms':>9} "
+            f"{'p99 ms':>9} {'store hits':>11} {'writes':>7}",
+            f"{'cold':<6} {cold['throughput_rps']:>8} {cold['p50_ms']:>9} "
+            f"{cold['p90_ms']:>9} {cold['p99_ms']:>9} "
+            f"{cold_store['hits']:>11} {cold_store['writes']:>7}",
+            f"{'warm':<6} {warm['throughput_rps']:>8} {warm['p50_ms']:>9} "
+            f"{warm['p90_ms']:>9} {warm['p99_ms']:>9} "
+            f"{warm_store['hits']:>11} {warm_store['writes']:>7}",
+            "",
+            f"warm speedup: {speedup:.2f}x "
+            f"(restart answered {warm_store['hits']} entries from disk, "
+            f"recomputed {warm_store['writes']})",
+        ],
+    )
+    write_json(
+        "server_load",
+        "Solve-daemon throughput/latency, cold vs restart-warmed store",
+        data,
+        cache={"enabled": True, "store": "sqlite", "shared": "per-daemon"},
+    )
+
+    if warm_store["hits"] == 0:
+        print("FAIL: warm run never hit the persistent store", file=sys.stderr)
+        return 1
+    print(f"warm speedup {speedup:.2f}x; store hits {warm_store['hits']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

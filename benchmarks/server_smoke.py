@@ -1,0 +1,149 @@
+"""CI smoke check: the solve daemon end to end, including shutdown.
+
+Starts a real ``dprle serve`` subprocess against a temporary
+``--cache-db``, runs the scripted client conversation CI gates on —
+a solve, a check, a stats read, and a deliberately expired deadline
+(``deadline_ms=0`` must produce a deterministic 504, not a hang or a
+drop) — then SIGTERMs the server and requires the full drain
+handshake: "shutdown complete" on stdout and exit code 0.  The final
+``/stats`` document is written to ``server-stats.json`` so CI can
+upload it as an artifact.  This is a guard rail, not a benchmark; the
+measurements live in ``server_load.py``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.server_smoke
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SRC = str(pathlib.Path(__file__).parent.parent / "src")
+STATS_OUT = pathlib.Path("server-stats.json")
+
+SOURCE = """
+var va, vb, vc;
+va <= /(a|b)*/;
+vb <= /(a|b)*/;
+vc <= /(a|b)*/;
+va . vb <= /(a|b){7}/;
+vb . vc <= /(a|b){7}/;
+"""
+
+_LISTENING = re.compile(r"dprle serve: listening on 127\.0\.0\.1:(\d+)")
+
+
+def _request(port: int, method: str, path: str, body: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+
+    with tempfile.TemporaryDirectory(prefix="dprle-smoke-") as tmp:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.cli", "serve",
+             "--port", "0", "--cache-db", str(pathlib.Path(tmp) / "sig.db")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                _expect(bool(line), f"server exited early: {process.poll()}")
+                match = _LISTENING.search(line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            _expect(port is not None, "server never printed its port")
+
+            status, doc = _request(port, "GET", "/healthz")
+            _expect(status == 200 and doc["ok"], f"healthz: {status} {doc}")
+            print("healthz ok")
+
+            status, doc = _request(
+                port, "POST", "/solve",
+                {"source": SOURCE, "max_solutions": 1},
+            )
+            _expect(status == 200, f"solve: {status} {doc}")
+            _expect(doc["result"]["satisfiable"], "solve: unexpectedly unsat")
+            print(f"solve ok ({doc['result']['count']} solution)")
+
+            status, doc = _request(port, "POST", "/check", {"source": SOURCE})
+            _expect(status == 200, f"check: {status} {doc}")
+            print("check ok")
+
+            status, doc = _request(
+                port, "POST", "/solve",
+                {"source": SOURCE, "deadline_ms": 0},
+            )
+            _expect(status == 504, f"expected 504, got {status}: {doc}")
+            print("deadline-exceeded ok (504)")
+
+            status, stats = _request(port, "GET", "/stats")
+            _expect(status == 200, f"stats: {status}")
+            counters = stats["metrics"]["counters"]
+            _expect(
+                counters.get("server.requests", 0) >= 4,
+                f"server.requests counter too low: {counters}",
+            )
+            _expect(
+                counters.get("server.deadline_exceeded", 0) >= 1,
+                "deadline_exceeded counter never incremented",
+            )
+            _expect(
+                stats["cache"]["store"]["writes"] > 0,
+                "store never saw a write-through",
+            )
+            STATS_OUT.write_text(json.dumps(stats, indent=2) + "\n")
+            print(f"stats ok -> {STATS_OUT}")
+
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=60)
+            _expect(
+                process.returncode == 0,
+                f"unclean exit {process.returncode}: {out}",
+            )
+            _expect(
+                "dprle serve: shutdown complete" in out,
+                f"no shutdown handshake in output: {out}",
+            )
+            print("shutdown ok (drained, exit 0)")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,11 @@ Scoping — the cache is **solver-scoped, not global**: a
 (or created per solve from ``GciLimits.cache``) and activated for a
 dynamic extent with :meth:`LangCache.activate`, a context variable in
 the same style as :mod:`repro.obs`.  Nothing is shared across solvers,
-and dropping the solver drops the cache.
+and dropping the solver drops the cache.  For state that must outlive
+a process — the solve daemon's restarts, replicas sharing one warm
+tier — attach a persistent :class:`repro.cache.store.SignatureStore`:
+the LRU table stays the fast path, persistable entry classes are
+written through to disk, and LRU misses fall back to the store.
 
 Caveats (see ``docs/CACHING.md``):
 
@@ -78,11 +82,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 from weakref import ref as weakref_ref
 
-from . import obs
+from .. import obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from .automata.dfa import Dfa
-    from .automata.nfa import Nfa
+    from ..automata.dfa import Dfa
+    from ..automata.nfa import Nfa
+    from .store import SignatureStore
 
 __all__ = ["CacheLimits", "LangCache", "active_cache"]
 
@@ -187,7 +192,7 @@ def _lang_digest(mdfa: "Dfa") -> str:
 
 def _copy_dfa(dfa: "Dfa") -> "Dfa":
     """A defensive copy sharing only immutable pieces (labels, ids)."""
-    from .automata.dfa import Dfa
+    from ..automata.dfa import Dfa
 
     return Dfa(
         dfa.alphabet,
@@ -207,8 +212,16 @@ class LangCache:
     ``cache.miss.<op>`` / ``cache.evictions`` counters.
     """
 
-    def __init__(self, limits: Optional[CacheLimits] = None):
+    def __init__(
+        self,
+        limits: Optional[CacheLimits] = None,
+        store: Optional["SignatureStore"] = None,
+    ):
         self.limits = limits or CacheLimits()
+        # Optional persistent tier (repro.cache.store): consulted on an
+        # LRU miss for persistable entry classes, written through on
+        # every persistable insert.  The LRU table stays the fast path.
+        self.store = store
         self._table: OrderedDict[tuple, Any] = OrderedDict()
         self._recs: dict[int, _Rec] = {}
         self.hits: dict[str, int] = {}
@@ -250,9 +263,19 @@ class LangCache:
         value = self._table.get(key)
         if value is not None:
             self._table.move_to_end(key)
-        return value
+            return value
+        if self.store is not None:
+            # Persistent-tier fallback: a hit is installed in the LRU
+            # table *without* writing back through (it is already on
+            # disk).  load() returns None for non-persistable keys.
+            loaded = self.store.load(key)
+            if loaded is not None:
+                self._install(key, loaded)
+                return loaded
+        return None
 
-    def _put(self, key: tuple, value: Any) -> None:
+    def _install(self, key: tuple, value: Any) -> None:
+        """Insert into the LRU table (evicting as needed), no store write."""
         self._table[key] = value
         self._table.move_to_end(key)
         while len(self._table) > self.limits.max_entries:
@@ -261,9 +284,14 @@ class LangCache:
             obs.increment_metric("cache.evictions")
         obs.set_gauge("cache.entries", len(self._table))
 
+    def _put(self, key: tuple, value: Any) -> None:
+        self._install(key, value)
+        if self.store is not None:
+            self.store.save(key, value)
+
     def stats(self) -> dict[str, Any]:
         """A JSON-ready summary of the cache's activity."""
-        return {
+        summary = {
             "entries": len(self._table),
             "max_entries": self.limits.max_entries,
             "hits": dict(sorted(self.hits.items())),
@@ -273,6 +301,9 @@ class LangCache:
             "hit_total": sum(self.hits.values()),
             "miss_total": sum(self.misses.values()),
         }
+        if self.store is not None:
+            summary["store"] = self.store.stats()
+        return summary
 
     def clear(self) -> None:
         self._table.clear()
@@ -324,7 +355,7 @@ class LangCache:
         # Instrumented (not cache-consulting) entry points: the subset
         # construction and Hopcroft refinement a signature costs are
         # real work and stay attributed in the span trace.
-        from .automata.dfa import _determinize_instrumented, minimize_dfa
+        from ..automata.dfa import _determinize_instrumented, minimize_dfa
 
         obs.count_operation("signature")
         with obs.span("signature", states_in=nfa.num_states) as sp:
@@ -393,7 +424,7 @@ class LangCache:
         a caller mutating a shared instance would silently poison every
         entry derived from it; each call returns a fresh copy.
         """
-        from .automata.dfa import _determinize_instrumented
+        from ..automata.dfa import _determinize_instrumented
 
         rec = self._rec(nfa)
         if rec.dfa is not None:
@@ -421,14 +452,14 @@ class LangCache:
         else:
             self._miss("minimize")
         if stored is None:  # evicted between signature and lookup
-            from .automata.dfa import _minimize_nfa_instrumented
+            from ..automata.dfa import _minimize_nfa_instrumented
 
             stored = _minimize_nfa_instrumented(nfa)
             self._put(("min", sig), stored)
         return stored.copy()
 
     def complement(self, nfa: "Nfa") -> "Nfa":
-        from .automata.dfa import _complement_instrumented
+        from ..automata.dfa import _complement_instrumented
 
         sig = self.signature(nfa)
         stored = self._get(("comp", sig))
@@ -442,7 +473,7 @@ class LangCache:
 
     def eliminate_epsilon(self, nfa: "Nfa") -> "Nfa":
         """Memoized ε-elimination, keyed *structurally* (see module docs)."""
-        from .automata.ops import _eliminate_epsilon_instrumented
+        from ..automata.ops import _eliminate_epsilon_instrumented
 
         key = ("elim_eps", self.struct_key(nfa))
         stored = self._get(key)
@@ -456,7 +487,7 @@ class LangCache:
 
     def intersect(self, a: "Nfa", b: "Nfa") -> "Nfa":
         """Memoized provenance-free intersection (commutative key)."""
-        from .automata.ops import product
+        from ..automata.ops import product
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot intersect machines over different alphabets")
@@ -473,7 +504,7 @@ class LangCache:
         return result
 
     def left_quotient(self, prefixes: "Nfa", language: "Nfa") -> "Nfa":
-        from .automata.ops import _left_quotient_instrumented
+        from ..automata.ops import _left_quotient_instrumented
 
         key = ("lq", self.signature(prefixes), self.signature(language))
         stored = self._get(key)
@@ -486,7 +517,7 @@ class LangCache:
         return result
 
     def right_quotient(self, language: "Nfa", suffixes: "Nfa") -> "Nfa":
-        from .automata.ops import _right_quotient_instrumented
+        from ..automata.ops import _right_quotient_instrumented
 
         key = ("rq", self.signature(language), self.signature(suffixes))
         stored = self._get(key)
@@ -509,7 +540,7 @@ class LangCache:
         exit.  When either signature is missing, the lazy check runs
         and its verdict is memoized under the structural key pair.
         """
-        from .automata.backend import active_backend
+        from ..automata.backend import active_backend
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")
@@ -550,7 +581,7 @@ class LangCache:
         forcing a determinization — and the verdict is memoized under
         the (commutative) structural key pair.
         """
-        from .automata.backend import active_backend
+        from ..automata.backend import active_backend
 
         if a.alphabet != b.alphabet:
             raise ValueError("cannot compare machines over different alphabets")

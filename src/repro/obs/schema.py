@@ -125,6 +125,7 @@ SPANS: frozenset[str] = frozenset({
     "graph",
     "analyze",
     "sink_query",
+    "server_request",
 })
 
 #: Structured point events (``obs.event``), journalled as JSONL records.
@@ -160,6 +161,14 @@ COUNTERS: frozenset[str] = frozenset(
         "gci.slice_memo_hits",
         "gci.slice_memo_misses",
         "parallel.chunks_pruned",
+        "cache.store.hits",
+        "cache.store.misses",
+        "cache.store.writes",
+        "cache.store.corrupt_recovered",
+        "server.requests",
+        "server.errors",
+        "server.deadline_exceeded",
+        "server.batches",
     }
     | {f"op.{name}" for name in OPERATIONS}
     | {f"span.{name}" for name in SPANS}
@@ -176,6 +185,9 @@ GAUGES: frozenset[str] = frozenset(
         "check.cost_ceiling",
         "parallel.chunk_skew",
         "parallel.utilization",
+        "cache.store.entries",
+        "server.queue_depth",
+        "server.inflight",
     }
     | {f"progress.{stage}.done" for stage in PROGRESS_STAGES}
     | {f"progress.{stage}.total" for stage in PROGRESS_STAGES}
@@ -188,6 +200,9 @@ HISTOGRAMS: frozenset[str] = frozenset(
         "parallel.chunk_seconds",
         "parallel.chunk_combinations",
         "parallel.queue_wait_seconds",
+        "server.request_seconds",
+        "server.batch_size",
+        "server.queue_wait_seconds",
     }
     | {f"span_seconds.{name}" for name in SPANS}
 )

@@ -286,6 +286,67 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     _add_observability_flags(graph_cmd)
 
+    serve_cmd = commands.add_parser(
+        "serve", help="run the persistent solve daemon (docs/SERVER.md)"
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default %(default)s; the daemon speaks "
+        "plain unauthenticated HTTP)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765, metavar="N",
+        help="TCP port (default %(default)s); 0 lets the OS pick, and "
+        "the chosen port is printed on the 'listening on' line",
+    )
+    serve_cmd.add_argument(
+        "--cache-db", type=pathlib.Path, default=None, metavar="PATH",
+        help="persistent signature store (sqlite; docs/CACHING.md): "
+        "cache state survives restarts and may be shared by replicas",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="default worker fan-out for solves (docs/PARALLELISM.md); "
+        "0 forces serial, default honours DPRLE_WORKERS",
+    )
+    serve_cmd.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="default automata kernel set for solves (docs/BACKENDS.md)",
+    )
+    serve_cmd.add_argument(
+        "--plan", choices=PLAN_MODES, default="off",
+        help="default enumeration planner mode (docs/PLANNER.md)",
+    )
+    serve_cmd.add_argument(
+        "--cache-entries", type=int, default=4096, metavar="N",
+        help="max entries in the shared in-memory language cache "
+        "(default %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window-ms", type=float, default=5.0, metavar="MS",
+        help="how long to wait for compatible jobs to coalesce into a "
+        "batch (default %(default)s; 0 disables coalescing)",
+    )
+    serve_cmd.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="max jobs dispatched as one batch (default %(default)s)",
+    )
+    serve_cmd.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to requests without their own "
+        "deadline_ms (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--journal", type=pathlib.Path, default=None, metavar="PATH",
+        help="stream a JSONL event journal with per-request trace ids "
+        "to PATH while serving",
+    )
+    serve_cmd.add_argument(
+        "--check-only", action="store_true",
+        help="validate config, bind the socket, open the store, print "
+        "ok, and exit 0 (the health-check / preflight mode)",
+    )
+
     corpus_cmd = commands.add_parser("corpus", help="emit the benchmark corpus")
     corpus_cmd.add_argument("--out", type=pathlib.Path, default=pathlib.Path("corpus"))
     corpus_cmd.add_argument(
@@ -346,6 +407,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_analyze(args)
     if args.command == "graph":
         return _run_graph(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "corpus":
         return _run_corpus(args)
     if args.command == "obs":
@@ -612,6 +675,34 @@ def _run_obs(args: argparse.Namespace) -> int:
             print(rendered, end="")
         return 0
     return 2
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from ..server import ServerConfig, serve
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            cache_db=args.cache_db,
+            workers=args.workers,
+            backend=args.backend,
+            plan=args.plan,
+            cache_entries=args.cache_entries,
+            batch_window=max(args.batch_window_ms, 0.0) / 1000.0,
+            max_batch=args.max_batch,
+            default_deadline=(
+                None
+                if args.default_deadline_ms is None
+                else max(args.default_deadline_ms, 0.0) / 1000.0
+            ),
+            journal=args.journal,
+            check_only=args.check_only,
+        )
+    except ValueError as error:
+        print(f"dprle serve: {error}", file=sys.stderr)
+        return 2
+    return serve(config)
 
 
 def _run_corpus(args: argparse.Namespace) -> int:

@@ -1,0 +1,220 @@
+"""Subprocess lifecycle tests: SIGTERM drain, --check-only, bad config.
+
+These exercise the real ``dprle serve`` entry point — signal handlers
+only install on a main-thread event loop, so the in-process harness in
+``test_daemon.py`` cannot cover them.  The drain contract under test:
+a SIGTERM arriving while requests are in flight produces answers for
+*every* accepted request (no dropped connections, no 503s for work
+already read off the socket), then a clean exit 0.
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+SRC = str(pathlib.Path(__file__).parent.parent.parent / "src")
+
+_LISTENING = re.compile(r"dprle serve: listening on 127\.0\.0\.1:(\d+)")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _spawn(*extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.cli", "serve",
+         "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+
+
+def _await_port(process, timeout=30.0):
+    """Read stdout lines until the daemon prints its listening port."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited early: {process.wait()}"
+            )
+        match = _LISTENING.search(line)
+        if match:
+            return int(match.group(1))
+    raise AssertionError("server never printed its listening line")
+
+
+def _post(port, path, body, timeout=60):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("POST", path, body=json.dumps(body))
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestCheckOnly:
+    def test_check_only_exits_zero(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.cli", "serve",
+             "--port", "0", "--check-only",
+             "--cache-db", str(tmp_path / "probe.db")],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "dprle serve: ok" in result.stdout
+        assert "store ready" in result.stdout
+
+    def test_check_only_without_store(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.cli", "serve",
+             "--port", "0", "--check-only"],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "store disabled" in result.stdout
+
+    def test_bind_failure_exits_nonzero(self):
+        # Hold a port open so the daemon's bind fails.
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            result = subprocess.run(
+                [sys.executable, "-m", "repro.tools.cli", "serve",
+                 "--port", str(port), "--check-only"],
+                capture_output=True,
+                text=True,
+                env=_env(),
+                timeout=60,
+            )
+        finally:
+            blocker.close()
+        assert result.returncode == 2
+        assert "error" in (result.stdout + result.stderr).lower()
+
+
+class TestSigtermDrain:
+    def test_inflight_requests_answered_then_clean_exit(self):
+        # Widen the batch window so the burst is still queued (not yet
+        # dispatched) when SIGTERM lands — the drain must answer it all.
+        process = _spawn("--batch-window-ms", "300")
+        try:
+            port = _await_port(process)
+            text = (DATA / "wide.dprle").read_text()
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                status, doc = _post(
+                    port, "/solve", {"source": text, "max_solutions": 1}
+                )
+                with lock:
+                    results.append((status, doc))
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.1)  # let requests reach the queue
+            process.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+
+            assert len(results) == 6
+            for status, doc in results:
+                assert status == 200, doc
+                assert doc["result"]["satisfiable"] is True
+
+            out, _ = process.communicate(timeout=60)
+            assert process.returncode == 0, out
+            assert "dprle serve: shutdown complete" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+    def test_sigterm_idle_exits_promptly(self):
+        process = _spawn()
+        try:
+            _await_port(process)
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=30)
+            assert process.returncode == 0, out
+            assert "dprle serve: shutdown complete" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
+class TestRestartWarm:
+    def test_killed_and_restarted_server_answers_from_store(self, tmp_path):
+        """The headline E2E: kill a warmed server, restart it on the
+        same --cache-db, and the repeated query answers with store hits
+        and zero store writes."""
+        db = str(tmp_path / "sig.db")
+        text = (DATA / "wide.dprle").read_text()
+
+        first = _spawn("--cache-db", db)
+        try:
+            port = _await_port(first)
+            status, _ = _post(
+                port, "/solve", {"source": text, "max_solutions": 1}
+            )
+            assert status == 200
+            first.send_signal(signal.SIGTERM)
+            out, _ = first.communicate(timeout=60)
+            assert first.returncode == 0, out
+        finally:
+            if first.poll() is None:
+                first.kill()
+                first.communicate()
+
+        second = _spawn("--cache-db", db)
+        try:
+            port = _await_port(second)
+            status, _ = _post(
+                port, "/solve", {"source": text, "max_solutions": 1}
+            )
+            assert status == 200
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request("GET", "/stats")
+                stats = json.loads(conn.getresponse().read())
+            finally:
+                conn.close()
+            store = stats["cache"]["store"]
+            assert store["hits"] > 0
+            assert store["writes"] == 0
+            assert stats["metrics"]["counters"]["cache.store.hits"] > 0
+            second.send_signal(signal.SIGTERM)
+            out, _ = second.communicate(timeout=60)
+            assert second.returncode == 0, out
+        finally:
+            if second.poll() is None:
+                second.kill()
+                second.communicate()
